@@ -1,0 +1,51 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark runs a *scaled-down* version of the paper's experiment by
+default so the whole harness completes in a couple of minutes.  Set
+``REPRO_FULL=1`` to run the full-size experiments (1,000 jobs, 100,000 PPO
+timesteps) — expect several minutes of wall-clock time.
+
+Each benchmark prints the regenerated table/figure data to stdout (run pytest
+with ``-s`` to see it) and stores the headline numbers in
+``benchmark.extra_info`` so they appear in ``pytest-benchmark``'s JSON output.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cloud.config import SimulationConfig
+
+#: Full-scale mode replicates the paper's exact experiment sizes.
+FULL_SCALE = os.environ.get("REPRO_FULL", "0") not in ("0", "", "false", "False")
+
+#: Number of case-study jobs (paper: 1,000).
+CASE_STUDY_JOBS = 1000 if FULL_SCALE else 120
+#: PPO training budget (paper: 100,000 timesteps).
+TRAINING_TIMESTEPS = 100_000 if FULL_SCALE else 16_384
+#: PPO rollout length used by the training benchmarks.
+TRAINING_N_STEPS = 2048 if FULL_SCALE else 1024
+#: Workload/calibration seed shared by all benchmarks.
+BENCHMARK_SEED = 2025
+
+
+def case_study_config(**overrides) -> SimulationConfig:
+    """The benchmark-harness simulation configuration (§7 parameters)."""
+    params = dict(num_jobs=CASE_STUDY_JOBS, seed=BENCHMARK_SEED)
+    params.update(overrides)
+    return SimulationConfig(**params)
+
+
+@pytest.fixture(scope="session")
+def trained_rl_model():
+    """PPO allocation policy shared by every benchmark that needs one."""
+    from repro.rlenv.train import train_allocation_policy
+
+    model, curve = train_allocation_policy(
+        total_timesteps=TRAINING_TIMESTEPS,
+        n_steps=TRAINING_N_STEPS,
+        seed=0,
+    )
+    return model, curve

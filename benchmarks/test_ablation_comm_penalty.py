@@ -1,0 +1,95 @@
+"""Ablation benchmark: inter-device communication penalty φ and latency λ.
+
+DESIGN.md calls out the communication model as a design choice worth
+ablating: the paper fixes φ = 0.95 per link (Eq. 8) and λ = 0.02 s/qubit
+(Eq. 9).  This benchmark sweeps both and checks the expected monotone
+responses:
+
+* raising φ towards 1 raises every strategy's final fidelity (no effect on
+  runtime),
+* raising λ increases total communication time (and hence the makespan)
+  without touching fidelity,
+* switching the qubit accounting from per-link to non-primary lowers the
+  communication time for multi-device jobs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import run_policy_simulation, sweep_communication_penalty
+from repro.cloud.config import SimulationConfig
+
+from benchmarks.conftest import BENCHMARK_SEED
+
+
+def test_ablation_phi_sweep(benchmark):
+    """Sweep the per-link fidelity penalty φ ∈ {0.85, 0.90, 0.95, 1.0}."""
+    phis = [0.85, 0.90, 0.95, 1.0]
+    config = SimulationConfig(num_jobs=40, seed=BENCHMARK_SEED)
+
+    def run():
+        return sweep_communication_penalty(phis, config=config, strategy="speed")
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\nphi      mean_fidelity   T_sim(s)")
+    for phi in phis:
+        s = results[phi]
+        print(f"{phi:<8} {s.mean_fidelity:<15.5f} {s.total_simulation_time:,.1f}")
+        benchmark.extra_info[f"fidelity_at_phi_{phi}"] = round(s.mean_fidelity, 5)
+
+    fidelities = [results[phi].mean_fidelity for phi in phis]
+    assert fidelities == sorted(fidelities)
+    runtimes = {round(results[phi].total_simulation_time, 6) for phi in phis}
+    assert len(runtimes) == 1
+
+
+def test_ablation_latency_sweep(benchmark):
+    """Sweep the per-qubit classical latency λ ∈ {0, 0.02, 0.2}."""
+    lams = [0.0, 0.02, 0.2]
+    config = SimulationConfig(num_jobs=40, seed=BENCHMARK_SEED, policy="speed")
+
+    def run():
+        out = {}
+        for lam in lams:
+            cfg = SimulationConfig(**{**config.as_dict(), "comm_latency_per_qubit": lam})
+            summary, _ = run_policy_simulation(cfg)
+            out[lam] = summary
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\nlambda   T_comm(s)      T_sim(s)        mean_fidelity")
+    for lam in lams:
+        s = results[lam]
+        print(f"{lam:<8} {s.total_communication_time:<14.1f} "
+              f"{s.total_simulation_time:<15.1f} {s.mean_fidelity:.5f}")
+        benchmark.extra_info[f"T_comm_at_lambda_{lam}"] = round(s.total_communication_time, 2)
+
+    comms = [results[lam].total_communication_time for lam in lams]
+    assert comms == sorted(comms)
+    assert results[0.0].total_communication_time == 0.0
+    assert results[0.2].total_simulation_time > results[0.0].total_simulation_time
+    # Fidelity is only affected indirectly (different completion times shift
+    # later planning decisions); the effect must stay second-order.
+    fids = [results[lam].mean_fidelity for lam in lams]
+    assert max(fids) - min(fids) < 0.02
+
+
+def test_ablation_comm_accounting(benchmark):
+    """Per-link vs non-primary communication accounting."""
+    config = SimulationConfig(num_jobs=40, seed=BENCHMARK_SEED, policy="speed")
+
+    def run():
+        per_link, _ = run_policy_simulation(config)
+        cfg = SimulationConfig(**{**config.as_dict(), "comm_accounting": "non_primary"})
+        non_primary, _ = run_policy_simulation(cfg)
+        return per_link, non_primary
+
+    per_link, non_primary = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nper_link    T_comm = {per_link.total_communication_time:,.1f} s")
+    print(f"non_primary T_comm = {non_primary.total_communication_time:,.1f} s")
+    benchmark.extra_info["per_link_T_comm"] = round(per_link.total_communication_time, 2)
+    benchmark.extra_info["non_primary_T_comm"] = round(non_primary.total_communication_time, 2)
+    assert non_primary.total_communication_time < per_link.total_communication_time

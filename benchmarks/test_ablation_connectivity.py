@@ -1,0 +1,59 @@
+"""Ablation benchmark: validity of the §5.2 connected-subgraph assumption.
+
+The paper assumes every sub-job's qubits can be mapped to a *connected*
+region of the device topology but never verifies it ("black-box
+abstraction", §5.2).  This benchmark replays each strategy's completed
+schedule against the real heavy-hex coupling maps with a BFS region
+allocator (:mod:`repro.analysis.connectivity`) and reports the fraction of
+sub-job placements for which a connected region was actually available.
+
+Expected outcome: the assumption holds for the vast majority of placements
+under every strategy; strategies that fragment the fleet more (speed /
+even-split) leave slightly more fragmented free regions than the error-aware
+strategy, so their connected fraction is at most as high.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.connectivity import audit_connectivity
+from repro.analysis.experiments import run_case_study
+from repro.cloud.config import SimulationConfig
+from repro.hardware.backends import build_default_fleet
+
+from benchmarks.conftest import BENCHMARK_SEED
+
+STRATEGIES = ("fidelity", "speed", "fair", "even_split")
+
+
+def test_ablation_connectivity_assumption(benchmark):
+    config = SimulationConfig(num_jobs=40, seed=BENCHMARK_SEED)
+    fleet = build_default_fleet()
+
+    def run():
+        result = run_case_study(config, strategies=STRATEGIES)
+        return {
+            name: audit_connectivity(result.records[name], fleet) for name in STRATEGIES
+        }
+
+    audits = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\nstrategy     placements   connected fraction")
+    for name in STRATEGIES:
+        audit = audits[name]
+        print(f"{name:<12} {audit.total_placements:<12} {audit.connected_fraction:.3f}")
+        benchmark.extra_info[f"{name}_connected_fraction"] = round(audit.connected_fraction, 4)
+
+    for name, audit in audits.items():
+        assert audit.total_placements > 0
+        # The black-box assumption holds for the overwhelming majority of
+        # placements on heavy-hex topologies.
+        assert audit.connected_fraction > 0.6, name
+
+    # The concentrated error-aware strategy never fragments more than the
+    # maximally spread even-split strategy.
+    assert (
+        audits["fidelity"].connected_fraction
+        >= audits["even_split"].connected_fraction - 1e-9
+    )

@@ -1,0 +1,60 @@
+"""Ablation benchmark: partition granularity (device fan-out per job).
+
+The communication penalty φ^(k-1) and the per-link latency make the number of
+devices per job (k) the main lever behind the Table 2 differences.  This
+benchmark compares the greedy-fill strategies against the maximally
+fragmented even-split baseline and reports how fidelity and communication
+respond to fan-out:
+
+* even-split uses (nearly) all five devices per job → highest communication
+  time and lowest fidelity,
+* the error-aware strategy uses the fewest devices per job → lowest
+  communication time,
+* mean fidelity decreases as mean devices-per-job increases (across
+  strategies on the same workload).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import run_case_study
+from repro.cloud.config import SimulationConfig
+
+from benchmarks.conftest import BENCHMARK_SEED
+
+STRATEGIES = ("fidelity", "speed", "fair", "even_split")
+
+
+def test_ablation_partition_fanout(benchmark):
+    config = SimulationConfig(num_jobs=40, seed=BENCHMARK_SEED)
+
+    def run():
+        return run_case_study(config, strategies=STRATEGIES)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    summaries = result.summaries
+
+    print("\nstrategy     devices/job   mean_fidelity   T_comm(s)")
+    for name in STRATEGIES:
+        s = summaries[name]
+        print(f"{name:<12} {s.mean_devices_per_job:<13.2f} {s.mean_fidelity:<15.5f} "
+              f"{s.total_communication_time:,.1f}")
+        benchmark.extra_info[f"{name}_devices_per_job"] = round(s.mean_devices_per_job, 2)
+        benchmark.extra_info[f"{name}_fidelity"] = round(s.mean_fidelity, 5)
+
+    # Fan-out extremes.
+    assert summaries["even_split"].mean_devices_per_job == max(
+        s.mean_devices_per_job for s in summaries.values()
+    )
+    assert summaries["fidelity"].mean_devices_per_job == min(
+        s.mean_devices_per_job for s in summaries.values()
+    )
+    assert summaries["even_split"].total_communication_time == max(
+        s.total_communication_time for s in summaries.values()
+    )
+
+    # Fidelity decreases with fan-out: the strategy ordering by devices/job is
+    # the reverse of the ordering by fidelity for the extreme points.
+    assert summaries["even_split"].mean_fidelity < summaries["fidelity"].mean_fidelity
+    assert summaries["even_split"].mean_fidelity <= summaries["speed"].mean_fidelity + 1e-9

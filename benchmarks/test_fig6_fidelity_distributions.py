@@ -1,0 +1,83 @@
+"""Benchmark: Figure 6 — fidelity distributions under the four strategies.
+
+Paper (Fig. 6): the Fair and Speed-Optimized strategies produce relatively
+narrow distributions concentrated around 0.65; the Fidelity-Optimized
+strategy is right-shifted (a significant portion of jobs above 0.66); the
+RL-Based strategy is flatter and broader (0.60-0.64).
+
+Expected reproduced shape (shared binning across strategies):
+
+* mean(fidelity strategy) > mean(speed) ≈ mean(fair) > mean(rlbase),
+* the error-aware distribution is right-shifted relative to speed/fair,
+* the RL distribution is at least as broad (IQR) as the narrower of
+  speed/fair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import run_case_study
+from repro.analysis.histogram import ascii_histogram, distribution_stats, fidelity_distributions
+
+from benchmarks.conftest import case_study_config
+
+
+@pytest.fixture(scope="module")
+def fig6_result(trained_rl_model):
+    model, _ = trained_rl_model
+    return run_case_study(case_study_config(), rl_model=model)
+
+
+def test_fig6_fidelity_distributions(benchmark, fig6_result):
+    """Regenerate the four panels of Fig. 6 on a common binning."""
+
+    def regenerate():
+        fidelities = {name: fig6_result.fidelities(name) for name in fig6_result.summaries}
+        return fidelity_distributions(fidelities, bins=30)
+
+    histograms = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    assert set(histograms) == {"speed", "fidelity", "fair", "rlbase"}
+
+    stats = {name: distribution_stats(fig6_result.fidelities(name)) for name in histograms}
+    print()
+    for name in ("speed", "fidelity", "fair", "rlbase"):
+        print(
+            ascii_histogram(
+                fig6_result.fidelities(name),
+                bins=15,
+                width=40,
+                title=(
+                    f"[{name}] mean={stats[name]['mean']:.4f} std={stats[name]['std']:.4f} "
+                    f"iqr={stats[name]['iqr_width']:.4f}"
+                ),
+            )
+        )
+        print()
+        benchmark.extra_info[f"{name}_mean"] = round(stats[name]["mean"], 5)
+        benchmark.extra_info[f"{name}_std"] = round(stats[name]["std"], 5)
+
+    # Same binning across panels.
+    edges = [h["edges"] for h in histograms.values()]
+    assert all(np.allclose(e, edges[0]) for e in edges)
+    # Every job appears in exactly one bin.
+    for name, hist in histograms.items():
+        assert hist["counts"].sum() == len(fig6_result.fidelities(name))
+
+    # --- paper shape -------------------------------------------------------------
+    means = {name: s["mean"] for name, s in stats.items()}
+    assert means["fidelity"] > means["speed"]
+    assert means["fidelity"] > means["fair"]
+    assert means["rlbase"] == min(means.values())
+
+    # Error-aware distribution is right-shifted relative to speed/fair.
+    fid_median = float(np.median(fig6_result.fidelities("fidelity")))
+    speed_median = float(np.median(fig6_result.fidelities("speed")))
+    assert fid_median > speed_median
+
+    # The RL distribution sits in a lower band: even its upper tail stays
+    # below the error-aware strategy's upper tail (Fig. 6d vs 6b).
+    rl_p90 = float(np.percentile(fig6_result.fidelities("rlbase"), 90))
+    fid_p90 = float(np.percentile(fig6_result.fidelities("fidelity"), 90))
+    assert rl_p90 < fid_p90

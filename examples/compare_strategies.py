@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Compare the paper's allocation strategies on one workload (Table 2 / Fig. 6).
+
+Runs the same synthetic workload through the speed-optimised, error-aware
+(fidelity), fair and — optionally — RL-based allocation strategies, then
+prints the Table-2-style comparison and ASCII fidelity histograms
+(the textual counterpart of the paper's Fig. 6).
+
+Run:
+    python examples/compare_strategies.py [NUM_JOBS] [--with-rl]
+
+``--with-rl`` trains a small PPO policy first (a few seconds) so the rlbase
+row can be included; without it only the three heuristic strategies run.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import ascii_histogram, format_table2, run_case_study
+from repro.analysis.histogram import distribution_stats
+from repro.cloud.config import SimulationConfig
+
+
+def main(num_jobs: int = 100, with_rl: bool = False) -> None:
+    config = SimulationConfig(num_jobs=num_jobs, seed=2025)
+
+    rl_model = None
+    strategies = ["speed", "fidelity", "fair"]
+    if with_rl:
+        from repro.rlenv.train import train_allocation_policy
+
+        print("Training the PPO allocation policy (scaled-down budget)...")
+        rl_model, _curve = train_allocation_policy(total_timesteps=8192, n_steps=1024, seed=0)
+        strategies.append("rlbase")
+
+    print(f"Running {len(strategies)} strategies x {num_jobs} jobs ...\n")
+    result = run_case_study(config, strategies=tuple(strategies), rl_model=rl_model)
+
+    print("=== Table 2 (reproduced, scaled workload) ===")
+    print(format_table2(result.summaries))
+
+    print("\n=== Fidelity distributions (Fig. 6, ASCII rendering) ===")
+    for strategy in strategies:
+        fidelities = result.fidelities(strategy)
+        stats = distribution_stats(fidelities)
+        print()
+        print(ascii_histogram(fidelities, bins=12, width=40, title=f"[{strategy}] "
+                              f"mean={stats['mean']:.4f} std={stats['std']:.4f} "
+                              f"range={stats['range_width']:.4f}"))
+
+    print("\n=== Observed trade-offs ===")
+    s = result.summaries
+    fastest = min(s.values(), key=lambda x: x.total_simulation_time)
+    best_fid = max(s.values(), key=lambda x: x.mean_fidelity)
+    least_comm = min(s.values(), key=lambda x: x.total_communication_time)
+    print(f"fastest strategy       : {fastest.strategy}")
+    print(f"highest mean fidelity  : {best_fid.strategy}")
+    print(f"least communication    : {least_comm.strategy}")
+
+
+if __name__ == "__main__":
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    main(
+        num_jobs=int(args[0]) if args else 100,
+        with_rl="--with-rl" in sys.argv,
+    )

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+Kept so that the package can be installed in editable mode in fully offline
+environments (where the 'wheel' package may be unavailable and PEP-517
+editable builds fail):
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""repro — Reproduction of "Adaptive Job Scheduling in Quantum Clouds Using
+Reinforcement Learning" (ICPP 2025).
+
+The package is organised bottom-up:
+
+* **Substrates** — :mod:`repro.des` (discrete-event simulation kernel),
+  :mod:`repro.gymapi` (Gymnasium-style environment API), :mod:`repro.rl`
+  (pure-NumPy PPO), :mod:`repro.hardware` (coupling maps, calibration data,
+  device catalogue), :mod:`repro.circuits` (abstract circuits and
+  partitioning), :mod:`repro.metrics` (error score, timing, fidelity,
+  aggregation).
+* **Framework** — :mod:`repro.cloud` (QCloudSimEnv, QCloud, QDevice, Broker,
+  JobGenerator, JobRecordsManager) and :mod:`repro.scheduling` (the four
+  allocation strategies plus baselines).
+* **Experiments** — :mod:`repro.rlenv` (the allocation MDP and PPO training),
+  :mod:`repro.workloads` (named workloads) and :mod:`repro.analysis`
+  (case-study runners, tables, histograms, training curves).
+
+Quick start
+-----------
+>>> from repro.cloud import QCloudSimEnv, SimulationConfig
+>>> env = QCloudSimEnv(SimulationConfig(policy="speed", num_jobs=10))
+>>> records = env.run_until_complete()
+>>> summary = env.summary()
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "analysis",
+    "circuits",
+    "cloud",
+    "des",
+    "gymapi",
+    "hardware",
+    "metrics",
+    "rl",
+    "rlenv",
+    "scheduling",
+    "workloads",
+]

@@ -1,0 +1,192 @@
+"""High-level experiment runners.
+
+:func:`run_case_study` reproduces the paper's §7 evaluation: it runs the same
+synthetic workload through each allocation strategy on the five-device fleet
+and returns one :class:`~repro.metrics.aggregate.StrategySummary` per
+strategy (the rows of Table 2) together with the raw per-job records (the
+data behind Fig. 6).
+
+The sweep helpers (:func:`sweep_communication_penalty`,
+:func:`sweep_error_score_weights`) implement the ablations called out in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.cloud.config import SimulationConfig
+from repro.cloud.environment import QCloudSimEnv
+from repro.cloud.job_generator import generate_synthetic_jobs
+from repro.cloud.qjob import QJob
+from repro.cloud.records import JobRecord
+from repro.metrics.aggregate import StrategySummary, summarize_records
+from repro.metrics.error_score import ErrorScoreWeights
+from repro.scheduling.error_aware import ErrorAwarePolicy
+from repro.scheduling.registry import create_policy
+
+__all__ = [
+    "CaseStudyResult",
+    "run_policy_simulation",
+    "run_case_study",
+    "sweep_communication_penalty",
+    "sweep_error_score_weights",
+]
+
+#: The four strategies evaluated in the paper, in Table 2 order.
+PAPER_STRATEGIES = ("speed", "fidelity", "fair", "rlbase")
+
+
+@dataclass
+class CaseStudyResult:
+    """Results of one multi-strategy case study."""
+
+    #: Per-strategy Table 2 rows.
+    summaries: Dict[str, StrategySummary] = field(default_factory=dict)
+    #: Per-strategy raw job records (input to the Fig. 6 histograms).
+    records: Dict[str, List[JobRecord]] = field(default_factory=dict)
+    #: The configuration that produced the results.
+    config: Optional[SimulationConfig] = None
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """All Table 2 rows as dictionaries, in insertion order."""
+        return [s.as_row() for s in self.summaries.values()]
+
+    def fidelities(self, strategy: str) -> List[float]:
+        """Final fidelities of all jobs under one strategy."""
+        return [r.fidelity for r in self.records[strategy]]
+
+
+def _clone_jobs(jobs: Sequence[QJob]) -> List[QJob]:
+    """Deep-ish copy of a job list so each simulation gets fresh status fields."""
+    return [
+        QJob(
+            job_id=j.job_id,
+            circuit=j.circuit,
+            arrival_time=j.arrival_time,
+            priority=j.priority,
+        )
+        for j in jobs
+    ]
+
+
+def run_policy_simulation(
+    config: SimulationConfig,
+    policy: Any = None,
+    jobs: Optional[Sequence[QJob]] = None,
+) -> Tuple[StrategySummary, List[JobRecord]]:
+    """Run one simulation with one policy and summarise it.
+
+    Parameters
+    ----------
+    config:
+        Simulation configuration (devices, workload, communication model).
+    policy:
+        Policy instance; when ``None`` it is created from ``config.policy``
+        via the registry.
+    jobs:
+        Pre-built workload (cloned before use); when ``None`` the synthetic
+        workload described by *config* is generated.
+    """
+    if jobs is None:
+        jobs = generate_synthetic_jobs(
+            num_jobs=config.num_jobs,
+            seed=config.seed,
+            qubit_range=config.qubit_range,
+            depth_range=config.depth_range,
+            shots_range=config.shots_range,
+            two_qubit_density=config.two_qubit_density,
+            arrival=config.arrival,
+            arrival_rate=config.arrival_rate,
+        )
+    env = QCloudSimEnv(config=config, jobs=_clone_jobs(jobs), policy=policy)
+    records = env.run_until_complete()
+    name = getattr(env.policy, "name", config.policy)
+    return summarize_records(records, strategy=name), records
+
+
+def run_case_study(
+    config: Optional[SimulationConfig] = None,
+    strategies: Sequence[str] = PAPER_STRATEGIES,
+    rl_model: Any = None,
+    policies: Optional[Dict[str, Any]] = None,
+) -> CaseStudyResult:
+    """Run the paper's case study across several allocation strategies.
+
+    Every strategy sees exactly the same workload (same seed, cloned jobs) on
+    an identically configured fleet.
+
+    Parameters
+    ----------
+    config:
+        Simulation configuration; defaults to the paper's (1,000 jobs).
+    strategies:
+        Strategy names to run (Table 2 order by default).  ``"rlbase"`` is
+        skipped with a warning entry when no model is available.
+    rl_model:
+        Trained model for the ``"rlbase"`` strategy (a
+        :class:`repro.rl.ppo.PPO` or anything with ``predict``).
+    policies:
+        Optional mapping overriding specific policy instances by name.
+    """
+    config = config if config is not None else SimulationConfig()
+    policies = dict(policies or {})
+
+    jobs = generate_synthetic_jobs(
+        num_jobs=config.num_jobs,
+        seed=config.seed,
+        qubit_range=config.qubit_range,
+        depth_range=config.depth_range,
+        shots_range=config.shots_range,
+        two_qubit_density=config.two_qubit_density,
+        arrival=config.arrival,
+        arrival_rate=config.arrival_rate,
+    )
+
+    result = CaseStudyResult(config=config)
+    for strategy in strategies:
+        if strategy in policies:
+            policy = policies[strategy]
+        elif strategy in ("rlbase", "rl"):
+            if rl_model is None:
+                continue
+            policy = create_policy("rlbase", model=rl_model)
+        else:
+            policy = create_policy(strategy)
+        summary, records = run_policy_simulation(
+            config.with_policy(strategy), policy=policy, jobs=jobs
+        )
+        result.summaries[strategy] = summary
+        result.records[strategy] = records
+    return result
+
+
+def sweep_communication_penalty(
+    phis: Sequence[float],
+    config: Optional[SimulationConfig] = None,
+    strategy: str = "speed",
+) -> Dict[float, StrategySummary]:
+    """Ablation: sweep the per-link fidelity penalty φ (default 0.95)."""
+    config = config if config is not None else SimulationConfig(num_jobs=50)
+    results: Dict[float, StrategySummary] = {}
+    for phi in phis:
+        cfg = config.with_policy(strategy)
+        cfg = SimulationConfig(**{**cfg.as_dict(), "comm_fidelity_penalty": float(phi)})
+        summary, _ = run_policy_simulation(cfg)
+        results[float(phi)] = summary
+    return results
+
+
+def sweep_error_score_weights(
+    weight_sets: Sequence[Tuple[float, float, float]],
+    config: Optional[SimulationConfig] = None,
+) -> Dict[Tuple[float, float, float], StrategySummary]:
+    """Ablation: sweep the error-score weights (α, θ, γ) of Eq. (2)."""
+    config = config if config is not None else SimulationConfig(num_jobs=50)
+    results: Dict[Tuple[float, float, float], StrategySummary] = {}
+    for alpha, theta, gamma in weight_sets:
+        policy = ErrorAwarePolicy(weights=ErrorScoreWeights(alpha, theta, gamma))
+        summary, _ = run_policy_simulation(config.with_policy("fidelity"), policy=policy)
+        results[(alpha, theta, gamma)] = summary
+    return results

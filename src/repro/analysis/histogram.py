@@ -1,0 +1,105 @@
+"""Fidelity-distribution utilities (Fig. 6).
+
+The paper's Fig. 6 shows one fidelity histogram per allocation strategy.
+:func:`fidelity_distributions` computes the histogram series for a
+multi-strategy case-study result on a shared binning so the panels are
+directly comparable, and :func:`ascii_histogram` renders a single
+distribution as text for terminal inspection / benchmark output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["fidelity_distributions", "ascii_histogram", "distribution_stats"]
+
+
+def fidelity_distributions(
+    fidelities_by_strategy: Mapping[str, Sequence[float]],
+    bins: int = 30,
+    value_range: Optional[Tuple[float, float]] = None,
+) -> Dict[str, Dict[str, np.ndarray]]:
+    """Histogram every strategy's fidelities on a common binning.
+
+    Parameters
+    ----------
+    fidelities_by_strategy:
+        Mapping from strategy name to the list of per-job final fidelities.
+    bins:
+        Number of bins.
+    value_range:
+        Common (min, max); defaults to the range spanned by all strategies.
+
+    Returns
+    -------
+    Mapping from strategy name to ``{"counts", "edges", "centers", "density"}``.
+    """
+    if not fidelities_by_strategy:
+        raise ValueError("no strategies to histogram")
+    if bins <= 0:
+        raise ValueError("bins must be positive")
+
+    all_values = np.concatenate(
+        [np.asarray(list(v), dtype=np.float64) for v in fidelities_by_strategy.values()]
+    )
+    if all_values.size == 0:
+        raise ValueError("no fidelity values to histogram")
+    if value_range is None:
+        lo, hi = float(all_values.min()), float(all_values.max())
+        if lo == hi:
+            lo, hi = lo - 0.01, hi + 0.01
+        value_range = (lo, hi)
+
+    result: Dict[str, Dict[str, np.ndarray]] = {}
+    for strategy, values in fidelities_by_strategy.items():
+        arr = np.asarray(list(values), dtype=np.float64)
+        counts, edges = np.histogram(arr, bins=bins, range=value_range)
+        centers = 0.5 * (edges[:-1] + edges[1:])
+        density = counts / max(counts.sum(), 1)
+        result[strategy] = {
+            "counts": counts,
+            "edges": edges,
+            "centers": centers,
+            "density": density,
+        }
+    return result
+
+
+def distribution_stats(fidelities: Sequence[float]) -> Dict[str, float]:
+    """Summary statistics of one fidelity distribution (mean/std/min/max/IQR width)."""
+    arr = np.asarray(list(fidelities), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("empty fidelity list")
+    q25, q75 = np.percentile(arr, [25, 75])
+    return {
+        "mean": float(arr.mean()),
+        "std": float(arr.std()),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+        "iqr_width": float(q75 - q25),
+        "range_width": float(arr.max() - arr.min()),
+    }
+
+
+def ascii_histogram(
+    fidelities: Sequence[float],
+    bins: int = 20,
+    width: int = 50,
+    value_range: Optional[Tuple[float, float]] = None,
+    title: str = "",
+) -> str:
+    """Render a fidelity histogram as ASCII art (one line per bin)."""
+    arr = np.asarray(list(fidelities), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("empty fidelity list")
+    counts, edges = np.histogram(arr, bins=bins, range=value_range)
+    peak = counts.max() if counts.max() > 0 else 1
+    lines = []
+    if title:
+        lines.append(title)
+    for i, count in enumerate(counts):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"{edges[i]:.4f}-{edges[i + 1]:.4f} | {bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Plain-text / markdown rendering of result tables."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.metrics.aggregate import StrategySummary
+
+__all__ = ["format_table2", "format_markdown_table"]
+
+
+def format_table2(summaries: Mapping[str, StrategySummary]) -> str:
+    """Render per-strategy summaries in the layout of the paper's Table 2.
+
+    Columns: mode, T_sim (s), mean ± std fidelity, T_comm (s).
+    """
+    if not summaries:
+        raise ValueError("no summaries to format")
+    lines = [
+        f"{'Mode':<10s} {'T_sim (s)':>14s} {'fidelity (mean ± std)':>24s} {'T_comm (s)':>12s}",
+        "-" * 64,
+    ]
+    for name, summary in summaries.items():
+        lines.append(
+            f"{name:<10s} {summary.total_simulation_time:>14.2f} "
+            f"{summary.mean_fidelity:>12.5f} ± {summary.std_fidelity:.5f} "
+            f"{summary.total_communication_time:>12.2f}"
+        )
+    return "\n".join(lines)
+
+
+def format_markdown_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str] = ()) -> str:
+    """Render a list of dict rows as a GitHub-flavoured markdown table."""
+    rows = list(rows)
+    if not rows:
+        raise ValueError("no rows to format")
+    columns = list(columns) if columns else list(rows[0].keys())
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.5f}"
+        return str(value)
+
+    header = "| " + " | ".join(columns) + " |"
+    separator = "| " + " | ".join("---" for _ in columns) + " |"
+    body = ["| " + " | ".join(fmt(row.get(col, "")) for col in columns) + " |" for row in rows]
+    return "\n".join([header, separator] + body)

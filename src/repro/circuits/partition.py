@@ -1,0 +1,182 @@
+"""Qubit partitioning across devices.
+
+Given a job needing ``q`` qubits and an ordered list of candidate devices
+with available capacities ``C_1..C_k``, these helpers produce allocation
+vectors ``a = (a_1, ..., a_k)`` with ``sum(a_i) = q`` and ``0 <= a_i <= C_i``
+(§4).  Three flavours are used by the allocation strategies of §5:
+
+* :func:`partition_greedy_fill` — fill devices in the given order until the
+  demand is satisfied (speed / error-aware / fair modes),
+* :func:`partition_even` — split as evenly as possible over a fixed device
+  set (the "balanced" variant),
+* :func:`partition_proportional` / :func:`allocation_from_weights` — divide
+  proportionally to continuous weights, used by the RL policy (§4.1's
+  normalise-round-adjust procedure).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "partition_greedy_fill",
+    "partition_even",
+    "partition_proportional",
+    "allocation_from_weights",
+    "validate_allocation",
+]
+
+
+def validate_allocation(allocation: Sequence[int], total: int, capacities: Sequence[int]) -> None:
+    """Raise ``ValueError`` unless *allocation* is a valid split of *total*.
+
+    Checks the constraints of §4: the parts sum to the demand, no part is
+    negative, and no part exceeds its device's capacity.
+    """
+    allocation = list(allocation)
+    capacities = list(capacities)
+    if len(allocation) != len(capacities):
+        raise ValueError(
+            f"allocation length {len(allocation)} != capacities length {len(capacities)}"
+        )
+    if any(a < 0 for a in allocation):
+        raise ValueError(f"allocation has negative entries: {allocation}")
+    if sum(allocation) != total:
+        raise ValueError(f"allocation {allocation} sums to {sum(allocation)}, expected {total}")
+    for a, c in zip(allocation, capacities):
+        if a > c:
+            raise ValueError(f"allocation entry {a} exceeds capacity {c}")
+
+
+def partition_greedy_fill(total: int, capacities: Sequence[int]) -> List[int]:
+    """Fill devices in order until *total* qubits are placed.
+
+    Returns a list the same length as *capacities*; trailing devices that are
+    not needed receive 0.  Raises ``ValueError`` if the combined capacity is
+    insufficient.
+    """
+    if total <= 0:
+        raise ValueError("total must be positive")
+    capacities = [int(c) for c in capacities]
+    if any(c < 0 for c in capacities):
+        raise ValueError("capacities must be non-negative")
+    if sum(capacities) < total:
+        raise ValueError(f"insufficient capacity: need {total}, have {sum(capacities)}")
+    remaining = total
+    allocation: List[int] = []
+    for capacity in capacities:
+        take = min(capacity, remaining)
+        allocation.append(take)
+        remaining -= take
+    assert remaining == 0
+    validate_allocation(allocation, total, capacities)
+    return allocation
+
+
+def partition_even(total: int, capacities: Sequence[int]) -> List[int]:
+    """Split *total* as evenly as possible over all given devices.
+
+    Devices whose capacity is smaller than the even share are filled to
+    capacity and the excess is redistributed over the remaining devices.
+    """
+    if total <= 0:
+        raise ValueError("total must be positive")
+    capacities = [int(c) for c in capacities]
+    if sum(capacities) < total:
+        raise ValueError(f"insufficient capacity: need {total}, have {sum(capacities)}")
+    n = len(capacities)
+    allocation = [0] * n
+    remaining = total
+    active = [i for i in range(n) if capacities[i] > 0]
+    while remaining > 0 and active:
+        share = max(1, remaining // len(active))
+        next_active: List[int] = []
+        for i in active:
+            if remaining <= 0:
+                break
+            take = min(share, capacities[i] - allocation[i], remaining)
+            allocation[i] += take
+            remaining -= take
+            if allocation[i] < capacities[i]:
+                next_active.append(i)
+        # If nothing could be placed this round (all full) the capacity check
+        # above guarantees remaining == 0.
+        active = next_active if next_active else [i for i in range(n) if allocation[i] < capacities[i]]
+        if not active and remaining > 0:  # pragma: no cover - guarded by capacity check
+            raise RuntimeError("even partition failed to place all qubits")
+    validate_allocation(allocation, total, capacities)
+    return allocation
+
+
+def partition_proportional(total: int, weights: Sequence[float], capacities: Sequence[int]) -> List[int]:
+    """Split proportionally to non-negative *weights*, respecting capacities.
+
+    This is the deterministic core of the RL allocation (§4.1): weights are
+    normalised, multiplied by the demand, rounded, and the rounding error is
+    corrected by adjusting the devices with the largest remaining headroom
+    (or largest allocations when shrinking).
+    """
+    if total <= 0:
+        raise ValueError("total must be positive")
+    weights_arr = np.asarray(weights, dtype=np.float64)
+    capacities_list = [int(c) for c in capacities]
+    if weights_arr.shape[0] != len(capacities_list):
+        raise ValueError("weights and capacities must have the same length")
+    if np.any(weights_arr < 0):
+        raise ValueError("weights must be non-negative")
+    if sum(capacities_list) < total:
+        raise ValueError(f"insufficient capacity: need {total}, have {sum(capacities_list)}")
+
+    weight_sum = float(weights_arr.sum())
+    if weight_sum <= 0:
+        # Degenerate weights: fall back to an even split.
+        return partition_even(total, capacities_list)
+
+    fractions = weights_arr / weight_sum
+    raw = fractions * total
+    allocation = np.minimum(np.floor(raw), capacities_list).astype(int)
+
+    # Distribute the remainder one qubit at a time, visiting devices in order
+    # of largest fractional part (ties broken by headroom), never exceeding
+    # capacity.  One-at-a-time keeps the final allocation as close to the
+    # ideal proportional split as the integer/capacity constraints allow.
+    remaining = total - int(allocation.sum())
+    if remaining > 0:
+        frac_part = raw - np.floor(raw)
+        order = np.argsort(-(frac_part + 1e-9 * np.asarray(capacities_list)))
+        max_rounds = (remaining + 10) * len(order)
+        idx = 0
+        while remaining > 0:
+            i = order[idx % len(order)]
+            if capacities_list[i] - allocation[i] > 0:
+                allocation[i] += 1
+                remaining -= 1
+            idx += 1
+            if idx > max_rounds and remaining > 0:  # pragma: no cover - capacity-checked
+                raise RuntimeError("proportional partition failed to converge")
+    elif remaining < 0:  # pragma: no cover - floor() can only under-allocate
+        raise RuntimeError("proportional partition over-allocated")
+
+    result = allocation.tolist()
+    validate_allocation(result, total, capacities_list)
+    return result
+
+
+def allocation_from_weights(
+    weights: Sequence[float],
+    total: int,
+    capacities: Sequence[int],
+    epsilon: float = 1e-8,
+) -> List[int]:
+    """The paper's §4.1 action post-processing.
+
+    The RL agent outputs unnormalised allocation weights ``a_i``; the final
+    allocation is ``a_i / (sum_j a_j + eps) * q`` followed by rounding and
+    adjustment so the parts sum to ``q`` and respect device capacities.
+    Negative weights (possible for an unbounded Gaussian policy) are clipped
+    to zero before normalisation.
+    """
+    weights_arr = np.clip(np.asarray(weights, dtype=np.float64), 0.0, None) + epsilon
+    return partition_proportional(total, weights_arr, capacities)

@@ -1,0 +1,236 @@
+"""Command-line interface.
+
+Exposes the framework's main workflows without writing Python::
+
+    python -m repro devices                      # list the device catalogue
+    python -m repro workload -n 100 -o jobs.csv  # generate a synthetic workload
+    python -m repro simulate --policy speed -n 100
+    python -m repro simulate --policy fidelity --jobs jobs.csv --records out.csv
+    python -m repro compare -n 200               # Table-2-style comparison
+    python -m repro train --timesteps 20000 --model policy.npz
+    python -m repro simulate --policy rlbase --model policy.npz -n 100
+
+Every command prints a short human-readable report to stdout; ``--records``
+and ``--curve`` write machine-readable CSV/JSON artefacts for further
+analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro import __version__
+
+__all__ = ["build_parser", "main"]
+
+
+# --------------------------------------------------------------------------- #
+# Command implementations
+# --------------------------------------------------------------------------- #
+def _cmd_devices(args: argparse.Namespace) -> int:
+    from repro.hardware.backends import get_device_profile, list_available_devices
+
+    print(f"{'device':<18} {'qubits':>7} {'QV':>6} {'CLOPS':>9} {'error score':>12}")
+    for name in list_available_devices():
+        profile = get_device_profile(name, num_qubits=args.qubits, quantum_volume=args.qv)
+        print(
+            f"{name:<18} {profile.num_qubits:>7} {profile.quantum_volume:>6.0f} "
+            f"{profile.clops:>9.0f} {profile.error_score():>12.6f}"
+        )
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from repro.cloud.io import jobs_to_csv, jobs_to_json
+    from repro.cloud.job_generator import generate_synthetic_jobs
+
+    jobs = generate_synthetic_jobs(
+        num_jobs=args.num_jobs,
+        seed=args.seed,
+        qubit_range=(args.min_qubits, args.max_qubits),
+        arrival=args.arrival,
+        arrival_rate=args.arrival_rate,
+    )
+    if args.output.endswith(".json"):
+        jobs_to_json(jobs, args.output)
+    else:
+        jobs_to_csv(jobs, args.output)
+    print(f"Wrote {len(jobs)} jobs to {args.output}")
+    return 0
+
+
+def _load_policy(args: argparse.Namespace):
+    """Build the policy instance requested on the command line (or None)."""
+    if args.policy in ("rlbase", "rl"):
+        if not args.model:
+            raise SystemExit("--model PATH is required for the rlbase policy")
+        import numpy as np
+
+        from repro.gymapi.spaces import Box
+        from repro.rl.policies import ActorCriticPolicy
+        from repro.scheduling.rl_policy import RLAllocationPolicy
+
+        policy_net = ActorCriticPolicy(
+            Box(0.0, np.inf, shape=(16,), dtype=np.float64),
+            Box(0.0, 1.0, shape=(5,), dtype=np.float64),
+            seed=0,
+        )
+        policy_net.load(args.model)
+        return RLAllocationPolicy(policy_net)
+    return None  # let the environment build it from the registry by name
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.cloud.config import SimulationConfig
+    from repro.cloud.environment import QCloudSimEnv
+    from repro.cloud.io import jobs_from_csv, jobs_from_json
+
+    config = SimulationConfig(policy=args.policy, num_jobs=args.num_jobs, seed=args.seed)
+    jobs = None
+    if args.jobs:
+        jobs = jobs_from_json(args.jobs) if args.jobs.endswith(".json") else jobs_from_csv(args.jobs)
+
+    env = QCloudSimEnv(config, jobs=jobs, policy=_load_policy(args))
+    records = env.run_until_complete()
+    summary = env.summary()
+
+    print(f"policy        : {summary.strategy}")
+    print(f"jobs completed: {summary.num_jobs}")
+    print(f"T_sim (s)     : {summary.total_simulation_time:,.2f}")
+    print(f"fidelity      : {summary.mean_fidelity:.5f} ± {summary.std_fidelity:.5f}")
+    print(f"T_comm (s)    : {summary.total_communication_time:,.2f}")
+    print(f"devices/job   : {summary.mean_devices_per_job:.2f}")
+
+    if args.records:
+        env.records.to_csv(args.records)
+        print(f"wrote per-job records to {args.records}")
+    return 0 if len(records) else 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import run_case_study
+    from repro.analysis.histogram import ascii_histogram
+    from repro.analysis.reporting import format_table2
+    from repro.cloud.config import SimulationConfig
+
+    strategies: List[str] = list(args.strategies)
+    rl_model = None
+    if args.model:
+        import numpy as np
+
+        from repro.gymapi.spaces import Box
+        from repro.rl.policies import ActorCriticPolicy
+
+        rl_model = ActorCriticPolicy(
+            Box(0.0, np.inf, shape=(16,), dtype=np.float64),
+            Box(0.0, 1.0, shape=(5,), dtype=np.float64),
+            seed=0,
+        )
+        rl_model.load(args.model)
+        if "rlbase" not in strategies:
+            strategies.append("rlbase")
+
+    config = SimulationConfig(num_jobs=args.num_jobs, seed=args.seed)
+    result = run_case_study(config, strategies=tuple(strategies), rl_model=rl_model)
+    print(format_table2(result.summaries))
+    if args.histograms:
+        for name in result.summaries:
+            print()
+            print(ascii_histogram(result.fidelities(name), bins=12, width=40, title=f"[{name}]"))
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.analysis.training_curve import downsample_curve, summarize_training_curve
+    from repro.rlenv.train import train_allocation_policy
+
+    model, curve = train_allocation_policy(
+        total_timesteps=args.timesteps,
+        seed=args.seed,
+        communication_aware=args.comm_aware,
+    )
+    stats = summarize_training_curve(curve)
+    print(f"updates           : {int(stats['num_updates'])}")
+    print(f"reward            : {stats['initial_reward']:.4f} -> {stats['final_reward']:.4f}")
+    print(f"entropy loss      : {stats['initial_entropy_loss']:.2f} -> {stats['final_entropy_loss']:.2f}")
+
+    model.save(args.model)
+    print(f"saved policy to {args.model}")
+
+    if args.curve:
+        with open(args.curve, "w") as fh:
+            json.dump(downsample_curve(curve, max_points=args.curve_points), fh, indent=2)
+        print(f"wrote training curve to {args.curve}")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Quantum-cloud scheduling simulator (ICPP 2025 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_devices = sub.add_parser("devices", help="list the simulated device catalogue")
+    p_devices.add_argument("--qubits", type=int, default=127, help="qubits per device")
+    p_devices.add_argument("--qv", type=float, default=127, help="quantum volume per device")
+    p_devices.set_defaults(func=_cmd_devices)
+
+    p_workload = sub.add_parser("workload", help="generate a synthetic workload file")
+    p_workload.add_argument("-n", "--num-jobs", type=int, default=100)
+    p_workload.add_argument("-o", "--output", default="workload.csv", help=".csv or .json path")
+    p_workload.add_argument("--seed", type=int, default=2025)
+    p_workload.add_argument("--min-qubits", type=int, default=130)
+    p_workload.add_argument("--max-qubits", type=int, default=250)
+    p_workload.add_argument("--arrival", choices=("batch", "poisson"), default="batch")
+    p_workload.add_argument("--arrival-rate", type=float, default=0.01)
+    p_workload.set_defaults(func=_cmd_workload)
+
+    p_sim = sub.add_parser("simulate", help="run one simulation with one policy")
+    p_sim.add_argument("--policy", default="speed",
+                       help="speed | fidelity | fair | rlbase | any registered policy")
+    p_sim.add_argument("-n", "--num-jobs", type=int, default=100)
+    p_sim.add_argument("--seed", type=int, default=2025)
+    p_sim.add_argument("--jobs", help="CSV/JSON workload file (overrides --num-jobs)")
+    p_sim.add_argument("--model", help="trained policy .npz (required for rlbase)")
+    p_sim.add_argument("--records", help="write per-job records to this CSV file")
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_cmp = sub.add_parser("compare", help="compare allocation strategies (Table 2)")
+    p_cmp.add_argument("-n", "--num-jobs", type=int, default=100)
+    p_cmp.add_argument("--seed", type=int, default=2025)
+    p_cmp.add_argument("--strategies", nargs="+", default=["speed", "fidelity", "fair"])
+    p_cmp.add_argument("--model", help="trained policy .npz; adds the rlbase row")
+    p_cmp.add_argument("--histograms", action="store_true", help="print Fig.-6-style histograms")
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_train = sub.add_parser("train", help="train the PPO allocation policy (Fig. 5)")
+    p_train.add_argument("--timesteps", type=int, default=100_000)
+    p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument("--model", default="rl_allocation_policy.npz")
+    p_train.add_argument("--curve", help="write the training curve to this JSON file")
+    p_train.add_argument("--curve-points", type=int, default=50)
+    p_train.add_argument("--comm-aware", action="store_true",
+                         help="fold the communication penalty into the reward (paper future work)")
+    p_train.set_defaults(func=_cmd_train)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

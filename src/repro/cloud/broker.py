@@ -1,0 +1,199 @@
+"""The broker: the unified allocation workflow (paper §5.1, Algorithm 1).
+
+For every incoming job the broker
+
+1. asks the configured allocation policy for a device-selection / partition
+   plan based on the *current* fleet state (Algorithm 1, lines 3-5),
+2. reserves the planned qubits on each selected device (lines 6-7),
+3. launches the sub-jobs in parallel and waits for all of them (line 8),
+4. performs the blocking classical communication between dependent sub-jobs
+   (lines 10-12),
+5. computes the final fidelity with the communication penalty (line 13),
+6. releases the qubits and logs completion (line 14).
+
+Planning and reservation happen inside a FIFO admission critical section so
+that concurrent jobs never race for the same free qubits (which would make
+plans infeasible or deadlock the reservation step).  If no feasible plan
+exists at admission time the broker waits for the cloud's capacity-released
+signal and re-plans.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from repro.cloud.qcloud import QCloud
+from repro.cloud.qdevice import IBMQuantumDevice, SubJobResult
+from repro.cloud.qjob import QJob, QJobStatus
+from repro.cloud.records import JobRecord, JobRecordsManager
+from repro.des.environment import Environment
+from repro.des.events import Process
+from repro.metrics.fidelity import final_fidelity
+
+__all__ = ["Broker", "CustomBroker"]
+
+
+class Broker:
+    """Mediates between job requests and quantum devices.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    cloud:
+        The device fleet.
+    policy:
+        An allocation policy (anything exposing ``plan(job, devices)`` and a
+        ``name`` attribute — see :class:`repro.scheduling.base.AllocationPolicy`).
+    records:
+        Job records manager used for life-cycle logging.
+    max_plan_attempts:
+        Safety valve: a job fails after this many unsuccessful re-planning
+        rounds (prevents infinite waits for jobs that can never fit).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        cloud: QCloud,
+        policy: Any,
+        records: JobRecordsManager,
+        max_plan_attempts: int = 100_000,
+    ) -> None:
+        if not hasattr(policy, "plan"):
+            raise TypeError("policy must expose a plan(job, devices) method")
+        self.env = env
+        self.cloud = cloud
+        self.policy = policy
+        self.records = records
+        self.max_plan_attempts = int(max_plan_attempts)
+        #: Processes of all submitted jobs (used to wait for completion).
+        self.job_processes: List[Process] = []
+        #: Jobs that could never be allocated.
+        self.failed_jobs: List[QJob] = []
+
+    # -- public API ---------------------------------------------------------------
+    def submit(self, job: QJob) -> Process:
+        """Submit a job: starts its handling process and returns it."""
+        job.status = QJobStatus.QUEUED
+        process = self.env.process(self._handle_job(job))
+        self.job_processes.append(process)
+        return process
+
+    # -- Algorithm 1 -----------------------------------------------------------------
+    def _handle_job(self, job: QJob) -> Generator[object, object, Optional[JobRecord]]:
+        """DES process implementing the unified allocation workflow for one job."""
+        if not self.cloud.can_ever_fit(job.num_qubits):
+            job.status = QJobStatus.FAILED
+            self.failed_jobs.append(job)
+            self.records.log_failure(job.job_id, self.env.now, "exceeds total cloud capacity")
+            return None
+
+        # -- plan & reserve (FIFO critical section) --------------------------------
+        plan = None
+        with self.cloud.admission.request() as admission:
+            yield admission
+            attempts = 0
+            while True:
+                plan = self.policy.plan(job, self.cloud.devices)
+                if plan is not None:
+                    if plan.total_qubits != job.num_qubits:
+                        raise RuntimeError(
+                            f"policy {self.policy.name!r} allocated {plan.total_qubits} qubits "
+                            f"for a job needing {job.num_qubits}"
+                        )
+                    if not plan.is_feasible_now():
+                        raise RuntimeError(
+                            f"policy {self.policy.name!r} returned an infeasible plan for job "
+                            f"{job.job_id}"
+                        )
+                    break
+                attempts += 1
+                if attempts >= self.max_plan_attempts:
+                    job.status = QJobStatus.FAILED
+                    self.failed_jobs.append(job)
+                    self.records.log_failure(job.job_id, self.env.now, "no feasible allocation")
+                    return None
+                # Wait until some other job releases qubits, then re-plan.
+                yield self.cloud.capacity_released
+
+            # Reserve the planned qubits.  The plan is feasible right now and
+            # we still hold the admission token, so these all succeed
+            # immediately and atomically at the current simulation time.
+            reservations = [
+                alloc.device.request_qubits(alloc.num_qubits) for alloc in plan.allocations
+            ]
+            yield self.env.all_of(reservations)
+
+        # -- execute sub-jobs in parallel -------------------------------------------
+        start_time = self.env.now
+        job.status = QJobStatus.RUNNING
+        self.records.log_start(
+            job.job_id, start_time, detail=",".join(plan.device_names)
+        )
+
+        fragments = [
+            job.circuit.subcircuit(alloc.num_qubits, name=f"{job.circuit.name}@{alloc.device.name}")
+            for alloc in plan.allocations
+        ]
+        sub_processes = [
+            self.env.process(
+                alloc.device.execute(fragment, plan.num_devices, job.num_qubits)
+            )
+            for alloc, fragment in zip(plan.allocations, fragments)
+        ]
+        results_map = yield self.env.all_of(sub_processes)
+        results: List[SubJobResult] = [results_map[p] for p in sub_processes]
+
+        # -- inter-device classical communication ------------------------------------
+        comm_delay = self.cloud.communication.communication_delay(plan.qubit_counts)
+        if comm_delay > 0:
+            job.status = QJobStatus.COMMUNICATING
+            yield self.env.timeout(comm_delay)
+
+        # -- final fidelity (Eq. 8) ----------------------------------------------------
+        device_fidelities = [r.fidelity_breakdown.device for r in results]
+        fidelity = final_fidelity(device_fidelities, phi=self.cloud.communication.fidelity_penalty)
+
+        # -- release qubits & log completion --------------------------------------------
+        for alloc in plan.allocations:
+            alloc.device.release_qubits(alloc.num_qubits)
+        finish_time = self.env.now
+        job.status = QJobStatus.COMPLETED
+        self.records.log_fidelity(job.job_id, finish_time, fidelity)
+        self.records.log_finish(job.job_id, finish_time)
+
+        record = JobRecord(
+            job_id=job.job_id,
+            num_qubits=job.num_qubits,
+            depth=job.depth,
+            num_shots=job.num_shots,
+            arrival_time=job.arrival_time,
+            start_time=start_time,
+            finish_time=finish_time,
+            fidelity=fidelity,
+            communication_time=comm_delay,
+            num_devices=plan.num_devices,
+            devices=plan.device_names,
+            allocation=plan.qubit_counts,
+            processing_time=max(r.processing_time for r in results),
+            breakdowns=[r.fidelity_breakdown for r in results],
+        )
+        self.records.add_record(record)
+        self.cloud.notify_capacity_released()
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} policy={getattr(self.policy, 'name', '?')!r}>"
+
+
+class CustomBroker(Broker):
+    """Extension point for user-defined brokers.
+
+    Subclasses can override :meth:`_handle_job` (or smaller hooks added by the
+    user) to implement custom orchestration — e.g. batching, preemption or
+    deadline-aware admission — while reusing the device/communication
+    machinery.  The class exists mainly to mirror the framework description in
+    §3 ("Users may create a CustomBroker by extending the abstract Broker
+    class").
+    """

@@ -1,0 +1,91 @@
+"""Simulation configuration (paper §3, "Configurations Layer").
+
+Users specify scheduling policies, simulation parameters and hardware
+configurations up front; :class:`SimulationConfig` gathers all of them in one
+typed, validated object that the experiment runners consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.hardware.backends import DEFAULT_DEVICE_NAMES
+
+__all__ = ["SimulationConfig"]
+
+
+@dataclass
+class SimulationConfig:
+    """All knobs of one simulation run.
+
+    The defaults reproduce the paper's case study (§7): five 127-qubit IBM
+    devices, 1,000 synthetic jobs with 130-250 qubits, depth 5-20 and
+    10k-100k shots, λ = 0.02 s/qubit and φ = 0.95.
+    """
+
+    #: Allocation policy name (see :mod:`repro.scheduling.registry`).
+    policy: str = "speed"
+    #: Devices to instantiate (catalogue names).
+    device_names: List[str] = field(default_factory=lambda: list(DEFAULT_DEVICE_NAMES))
+    #: Number of qubits per device.
+    device_qubits: int = 127
+    #: Quantum volume per device.
+    quantum_volume: float = 127.0
+
+    #: Number of synthetic jobs.
+    num_jobs: int = 1000
+    #: Qubit demand range of the synthetic jobs (inclusive).
+    qubit_range: Tuple[int, int] = (130, 250)
+    #: Circuit depth range (inclusive).
+    depth_range: Tuple[int, int] = (5, 20)
+    #: Shot count range (inclusive).
+    shots_range: Tuple[int, int] = (10_000, 100_000)
+    #: Fraction of qubit-layer slots occupied by two-qubit gates.
+    two_qubit_density: float = 0.30
+    #: Arrival process: "batch" (all at t=0) or "poisson".
+    arrival: str = "batch"
+    #: Poisson arrival rate (jobs/second) when ``arrival == "poisson"``.
+    arrival_rate: float = 0.01
+
+    #: Per-qubit classical communication latency λ (seconds).
+    comm_latency_per_qubit: float = 0.02
+    #: Per-link fidelity penalty φ.
+    comm_fidelity_penalty: float = 0.95
+    #: Communication qubit accounting ("per_link" or "non_primary").
+    comm_accounting: str = "per_link"
+
+    #: Workload / calibration seed.
+    seed: int = 2025
+
+    def __post_init__(self) -> None:
+        if self.num_jobs <= 0:
+            raise ValueError("num_jobs must be positive")
+        if self.device_qubits <= 0:
+            raise ValueError("device_qubits must be positive")
+        if not self.device_names:
+            raise ValueError("at least one device is required")
+        if self.qubit_range[0] > self.qubit_range[1]:
+            raise ValueError("invalid qubit_range")
+        if self.arrival not in ("batch", "poisson"):
+            raise ValueError("arrival must be 'batch' or 'poisson'")
+        if not 0.0 <= self.comm_fidelity_penalty <= 1.0:
+            raise ValueError("comm_fidelity_penalty must be in [0, 1]")
+        if self.comm_latency_per_qubit < 0:
+            raise ValueError("comm_latency_per_qubit must be non-negative")
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view (for logging next to results)."""
+        return asdict(self)
+
+    def with_policy(self, policy: str) -> "SimulationConfig":
+        """Copy of the configuration with a different allocation policy."""
+        payload = asdict(self)
+        payload["policy"] = policy
+        return SimulationConfig(**payload)
+
+    def scaled(self, num_jobs: int) -> "SimulationConfig":
+        """Copy of the configuration with a different job count (for quick runs)."""
+        payload = asdict(self)
+        payload["num_jobs"] = num_jobs
+        return SimulationConfig(**payload)

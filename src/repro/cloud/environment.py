@@ -1,0 +1,137 @@
+"""The top-level quantum-cloud simulation environment (paper §3, ``QCloudSimEnv``).
+
+``QCloudSimEnv`` extends the DES :class:`~repro.des.environment.Environment`
+and wires together the fleet (:class:`~repro.cloud.qcloud.QCloud`), the
+broker, the job generator and the records manager, so that a complete
+simulation is three lines::
+
+    env = QCloudSimEnv(config)           # or pass devices/jobs/policy explicitly
+    env.run_until_complete()
+    summary = env.summary()
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from repro.cloud.broker import Broker
+from repro.cloud.communication import ClassicalCommunicationModel
+from repro.cloud.config import SimulationConfig
+from repro.cloud.job_generator import JobGenerator, generate_synthetic_jobs
+from repro.cloud.qcloud import QCloud
+from repro.cloud.qjob import QJob
+from repro.cloud.records import JobRecord, JobRecordsManager
+from repro.des.environment import Environment
+from repro.hardware.backends import build_default_fleet, get_device_profile
+from repro.metrics.aggregate import StrategySummary, summarize_records
+
+__all__ = ["QCloudSimEnv"]
+
+
+class QCloudSimEnv(Environment):
+    """A ready-to-run quantum-cloud simulation.
+
+    There are two ways to construct one:
+
+    * from a :class:`~repro.cloud.config.SimulationConfig` (synthetic
+      workload, catalogue devices, policy by name), or
+    * by passing ``devices``, ``jobs`` and a ``policy`` instance explicitly
+      (full control, used by the tests and by custom experiments).
+
+    Parameters
+    ----------
+    config:
+        Simulation configuration; used for any component not given explicitly.
+    devices:
+        Device profiles or device instances (overrides ``config.device_names``).
+    jobs:
+        Explicit job list (overrides the synthetic workload).
+    policy:
+        Policy instance (overrides ``config.policy``).  Required when the
+        configured policy is ``"rlbase"`` (a trained model must be supplied).
+    """
+
+    def __init__(
+        self,
+        config: Optional[SimulationConfig] = None,
+        devices: Optional[Sequence[object]] = None,
+        jobs: Optional[Sequence[QJob]] = None,
+        policy: Optional[Any] = None,
+    ) -> None:
+        super().__init__()
+        self.config = config if config is not None else SimulationConfig()
+
+        # -- devices -----------------------------------------------------------
+        if devices is None:
+            devices = [
+                get_device_profile(
+                    name,
+                    num_qubits=self.config.device_qubits,
+                    quantum_volume=self.config.quantum_volume,
+                )
+                for name in self.config.device_names
+            ]
+        communication = ClassicalCommunicationModel(
+            latency_per_qubit=self.config.comm_latency_per_qubit,
+            fidelity_penalty=self.config.comm_fidelity_penalty,
+            accounting=self.config.comm_accounting,
+        )
+        self.cloud = QCloud(self, devices, communication=communication)
+
+        # -- policy --------------------------------------------------------------
+        if policy is None:
+            from repro.scheduling.registry import create_policy
+
+            policy = create_policy(self.config.policy)
+        self.policy = policy
+
+        # -- records, broker, job source ----------------------------------------
+        self.records = JobRecordsManager()
+        self.broker = Broker(self, self.cloud, self.policy, self.records)
+
+        if jobs is None:
+            jobs = generate_synthetic_jobs(
+                num_jobs=self.config.num_jobs,
+                seed=self.config.seed,
+                qubit_range=self.config.qubit_range,
+                depth_range=self.config.depth_range,
+                shots_range=self.config.shots_range,
+                two_qubit_density=self.config.two_qubit_density,
+                arrival=self.config.arrival,
+                arrival_rate=self.config.arrival_rate,
+            )
+        self.job_generator = JobGenerator(self, self.broker, jobs, records=self.records)
+        self.job_generator.start()
+
+    # -- running -----------------------------------------------------------------
+    def run_until_complete(self) -> List[JobRecord]:
+        """Run the simulation until every job has been processed.
+
+        Returns the completed job records (failed jobs are excluded; they are
+        listed in ``broker.failed_jobs``).
+        """
+        self.run()
+        return self.records.completed_records
+
+    # -- results -------------------------------------------------------------------
+    @property
+    def completed_records(self) -> List[JobRecord]:
+        """Records of all completed jobs so far."""
+        return self.records.completed_records
+
+    def summary(self, strategy: Optional[str] = None) -> StrategySummary:
+        """Aggregate the completed jobs into one row of Table 2."""
+        name = strategy if strategy is not None else getattr(self.policy, "name", "custom")
+        return summarize_records(self.completed_records, strategy=name)
+
+    def device_utilization_report(self) -> dict:
+        """Per-device execution statistics (sub-jobs completed, qubit-seconds)."""
+        return {
+            device.name: {
+                "completed_subjobs": device.completed_subjobs,
+                "busy_time": device.busy_time,
+                "qubit_seconds": device.qubit_seconds,
+                "free_qubits": device.free_qubits,
+            }
+            for device in self.cloud.devices
+        }

@@ -1,0 +1,72 @@
+"""Deterministic job flow through external data formats (CSV / JSON).
+
+The framework supports loading job workloads from CSV and JSON files for
+benchmarking, debugging and controlled comparative studies (§3).  The CSV
+schema matches :meth:`repro.cloud.qjob.QJob.as_dict`:
+
+``job_id,num_qubits,depth,num_shots,num_two_qubit_gates,num_single_qubit_gates,arrival_time,priority,name``
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, List, Sequence
+
+from repro.cloud.qjob import QJob
+
+__all__ = ["jobs_to_csv", "jobs_from_csv", "jobs_to_json", "jobs_from_json"]
+
+_CSV_FIELDS = [
+    "job_id",
+    "num_qubits",
+    "depth",
+    "num_shots",
+    "num_two_qubit_gates",
+    "num_single_qubit_gates",
+    "arrival_time",
+    "priority",
+    "name",
+]
+
+
+def jobs_to_csv(jobs: Sequence[QJob], path: str) -> None:
+    """Write jobs to a CSV file (one row per job)."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=_CSV_FIELDS, extrasaction="ignore")
+        writer.writeheader()
+        for job in jobs:
+            writer.writerow(job.as_dict())
+
+
+def jobs_from_csv(path: str) -> List[QJob]:
+    """Load jobs from a CSV file written by :func:`jobs_to_csv` (or hand-made).
+
+    Only ``job_id``, ``num_qubits``, ``depth`` and ``num_shots`` are required;
+    missing optional columns fall back to sensible defaults (arrival time 0,
+    no two-qubit gate count).
+    """
+    jobs: List[QJob] = []
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        for row in reader:
+            cleaned = {k: v for k, v in row.items() if v not in (None, "")}
+            jobs.append(QJob.from_dict(cleaned))
+    if not jobs:
+        raise ValueError(f"no jobs found in {path}")
+    return jobs
+
+
+def jobs_to_json(jobs: Sequence[QJob], path: str) -> None:
+    """Write jobs to a JSON file (a list of job dictionaries)."""
+    payload = [job.as_dict() for job in jobs]
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def jobs_from_json(path: str) -> List[QJob]:
+    """Load jobs from a JSON file written by :func:`jobs_to_json`."""
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, list) or not payload:
+        raise ValueError(f"{path} does not contain a non-empty list of jobs")
+    return [QJob.from_dict(entry) for entry in payload]

@@ -1,0 +1,155 @@
+"""Job sources (paper §3, ``JobGenerator``).
+
+The generator produces :class:`~repro.cloud.qjob.QJob` objects and submits
+them to the broker at their arrival times.  Three dispatching mechanisms are
+supported, mirroring Fig. 4:
+
+* **synthetic** — randomized jobs drawn from configurable ranges (the §7 case
+  study uses 1,000 jobs with 130-250 qubits, depth 5-20 and 10k-100k shots),
+  arriving either all at once ("batch") or as a Poisson process,
+* **deterministic** — an explicit list of pre-built jobs,
+* **file-based** — jobs loaded from CSV or JSON via :mod:`repro.cloud.io`.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.generators import random_circuit_spec
+from repro.cloud.broker import Broker
+from repro.cloud.qjob import QJob
+from repro.cloud.records import JobRecordsManager
+from repro.des.environment import Environment
+from repro.des.events import Process
+
+__all__ = ["JobGenerator", "generate_synthetic_jobs"]
+
+
+def generate_synthetic_jobs(
+    num_jobs: int,
+    seed: Optional[int] = None,
+    qubit_range: Tuple[int, int] = (130, 250),
+    depth_range: Tuple[int, int] = (5, 20),
+    shots_range: Tuple[int, int] = (10_000, 100_000),
+    two_qubit_density: float = 0.30,
+    arrival: str = "batch",
+    arrival_rate: float = 0.01,
+    start_time: float = 0.0,
+) -> List[QJob]:
+    """Generate the synthetic workload of the paper's case study (§7).
+
+    Parameters
+    ----------
+    num_jobs:
+        Number of jobs (1,000 in the paper).
+    qubit_range, depth_range, shots_range:
+        Inclusive uniform ranges (§7 defaults).
+    two_qubit_density:
+        Fraction of qubit-layer slots holding a two-qubit gate.
+    arrival:
+        ``"batch"`` — all jobs arrive at *start_time*; ``"poisson"`` —
+        exponential inter-arrival times with rate *arrival_rate* (jobs/s).
+    seed:
+        Seed for reproducibility.
+    """
+    if num_jobs <= 0:
+        raise ValueError("num_jobs must be positive")
+    if arrival not in ("batch", "poisson"):
+        raise ValueError(f"arrival must be 'batch' or 'poisson', got {arrival!r}")
+    if arrival == "poisson" and arrival_rate <= 0:
+        raise ValueError("arrival_rate must be positive for poisson arrivals")
+
+    rng = np.random.default_rng(seed)
+    jobs: List[QJob] = []
+    time = float(start_time)
+    for job_id in range(num_jobs):
+        circuit = random_circuit_spec(
+            rng,
+            qubit_range=qubit_range,
+            depth_range=depth_range,
+            shots_range=shots_range,
+            two_qubit_density=two_qubit_density,
+            name=f"synthetic_{job_id}",
+        )
+        if arrival == "poisson" and job_id > 0:
+            time += float(rng.exponential(1.0 / arrival_rate))
+        jobs.append(QJob(job_id=job_id, circuit=circuit, arrival_time=time))
+    return jobs
+
+
+class JobGenerator:
+    """Feeds jobs into the broker at their arrival times.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    broker:
+        The broker jobs are submitted to.
+    jobs:
+        Pre-built jobs (deterministic mode).  Jobs are submitted in
+        arrival-time order; jobs without an arrival time arrive immediately.
+    records:
+        Optional records manager for arrival logging (defaults to the
+        broker's).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        broker: Broker,
+        jobs: Sequence[QJob],
+        records: Optional[JobRecordsManager] = None,
+    ) -> None:
+        self.env = env
+        self.broker = broker
+        self.jobs: List[QJob] = sorted(jobs, key=lambda j: (j.arrival_time, j.job_id))
+        self.records = records if records is not None else broker.records
+        #: The dispatch process (started by :meth:`start`).
+        self.process: Optional[Process] = None
+        #: Processes of all submitted jobs.
+        self.submitted: List[Process] = []
+
+    @classmethod
+    def synthetic(
+        cls,
+        env: Environment,
+        broker: Broker,
+        num_jobs: int,
+        seed: Optional[int] = None,
+        **kwargs: object,
+    ) -> "JobGenerator":
+        """Create a generator with a synthetic workload (see :func:`generate_synthetic_jobs`)."""
+        jobs = generate_synthetic_jobs(num_jobs, seed=seed, **kwargs)  # type: ignore[arg-type]
+        return cls(env, broker, jobs)
+
+    def start(self) -> Process:
+        """Start dispatching jobs; returns the dispatch process."""
+        if self.process is not None:
+            raise RuntimeError("JobGenerator already started")
+        self.process = self.env.process(self._dispatch())
+        return self.process
+
+    def _dispatch(self) -> Generator[object, object, int]:
+        """DES process releasing each job at its arrival time."""
+        for job in self.jobs:
+            delay = job.arrival_time - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            self.records.log_arrival(job.job_id, self.env.now)
+            self.submitted.append(self.broker.submit(job))
+        return len(self.jobs)
+
+    def all_jobs_done(self):
+        """Return an event that triggers when every submitted job has finished.
+
+        Must be called after the dispatch process has completed (e.g. by
+        running the simulation to exhaustion, or by yielding
+        :attr:`process` first).
+        """
+        return self.env.all_of(self.submitted)
+
+    def __len__(self) -> int:
+        return len(self.jobs)

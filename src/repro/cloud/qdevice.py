@@ -1,0 +1,221 @@
+"""Simulated quantum devices (paper §3, ``QDevice`` hierarchy).
+
+Three levels of modelling detail:
+
+* :class:`BaseQDevice` — a named pool of qubits backed by a DES
+  :class:`~repro.des.resources.container.Container` (the paper's
+  ``device.container.level`` is the number of currently available qubits),
+* :class:`QuantumDevice` — adds a graph-based qubit topology (coupling map)
+  and utilisation accounting,
+* :class:`IBMQuantumDevice` — adds IBM-specific attributes: CLOPS, quantum
+  volume and an error score derived from calibration data, and implements
+  sub-job execution as a DES process whose duration follows the CLOPS model
+  of Eq. (3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+import networkx as nx
+
+from repro.circuits.circuit import CircuitSpec
+from repro.des.environment import Environment
+from repro.des.resources.container import Container
+from repro.hardware.backends import DeviceProfile
+from repro.hardware.coupling import largest_connected_subgraph
+from repro.metrics.error_score import error_score_from_averages
+from repro.metrics.fidelity import FidelityBreakdown, readout_fidelity, single_qubit_fidelity, two_qubit_fidelity
+from repro.metrics.timing import processing_time_minutes
+
+__all__ = ["SubJobResult", "BaseQDevice", "QuantumDevice", "IBMQuantumDevice"]
+
+
+@dataclass(frozen=True)
+class SubJobResult:
+    """Outcome of executing one job fragment on one device."""
+
+    device_name: str
+    qubits_allocated: int
+    processing_time: float
+    fidelity_breakdown: FidelityBreakdown
+
+
+class BaseQDevice:
+    """A quantum device as a pool of qubits.
+
+    Parameters
+    ----------
+    env:
+        The simulation environment.
+    name:
+        Backend name.
+    num_qubits:
+        Total qubit capacity ``C_i``.
+    """
+
+    def __init__(self, env: Environment, name: str, num_qubits: int) -> None:
+        if num_qubits <= 0:
+            raise ValueError("num_qubits must be positive")
+        self.env = env
+        self.name = name
+        self.num_qubits = int(num_qubits)
+        #: Pool of free qubits; ``container.level`` is the number available.
+        self.container = Container(env, capacity=num_qubits, init=num_qubits)
+        #: Number of sub-jobs completed on this device.
+        self.completed_subjobs = 0
+        #: Total busy time accumulated (qubit-seconds are tracked separately).
+        self.busy_time = 0.0
+        #: Accumulated qubit-seconds of work executed (for utilisation stats).
+        self.qubit_seconds = 0.0
+
+    # -- capacity --------------------------------------------------------------
+    @property
+    def free_qubits(self) -> int:
+        """Qubits currently available (``device.container.level``)."""
+        return int(self.container.level)
+
+    @property
+    def used_qubits(self) -> int:
+        """Qubits currently reserved by running sub-jobs."""
+        return self.num_qubits - self.free_qubits
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of qubits currently in use (0..1)."""
+        return self.used_qubits / self.num_qubits
+
+    def request_qubits(self, amount: int):
+        """Return a DES get-event reserving *amount* qubits."""
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        if amount > self.num_qubits:
+            raise ValueError(
+                f"cannot reserve {amount} qubits on {self.name} (capacity {self.num_qubits})"
+            )
+        return self.container.get(amount)
+
+    def release_qubits(self, amount: int):
+        """Return a DES put-event releasing *amount* qubits."""
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        return self.container.put(amount)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name} free={self.free_qubits}/{self.num_qubits}>"
+
+
+class QuantumDevice(BaseQDevice):
+    """A device with an explicit qubit-connectivity graph."""
+
+    def __init__(self, env: Environment, name: str, coupling: nx.Graph) -> None:
+        super().__init__(env, name, coupling.number_of_nodes())
+        self.coupling = coupling
+
+    def has_connected_region(self, size: int) -> bool:
+        """Whether the topology contains a connected subgraph of *size* qubits.
+
+        Used to check the connectivity constraint of §4; the allocation
+        workflow itself treats this as a black box (§5.2).
+        """
+        if size <= 0:
+            raise ValueError("size must be positive")
+        if size > self.num_qubits:
+            return False
+        return largest_connected_subgraph(self.coupling, size) is not None
+
+
+class IBMQuantumDevice(QuantumDevice):
+    """An IBM-flavoured device: CLOPS, quantum volume and calibration data.
+
+    Corresponds to the device tuple ``D_i = (C_i, E_i, K_i, G_i)`` of §4.
+    """
+
+    def __init__(self, env: Environment, profile: DeviceProfile) -> None:
+        super().__init__(env, profile.name, profile.coupling)
+        self.profile = profile
+        self.clops = float(profile.clops)
+        self.quantum_volume = float(profile.quantum_volume)
+        self.calibration = profile.calibration
+        self.avg_readout_error = profile.avg_readout_error
+        self.avg_single_qubit_error = profile.avg_single_qubit_error
+        self.avg_two_qubit_error = profile.avg_two_qubit_error
+
+    @classmethod
+    def from_profile(cls, env: Environment, profile: DeviceProfile) -> "IBMQuantumDevice":
+        """Alias constructor mirroring the framework documentation."""
+        return cls(env, profile)
+
+    def error_score(self, alpha: float = 0.5, theta: float = 0.3, gamma: float = 0.2) -> float:
+        """Calibration-derived error score ``E_i`` (Eq. 2)."""
+        return error_score_from_averages(
+            self.avg_readout_error,
+            self.avg_single_qubit_error,
+            self.avg_two_qubit_error,
+            alpha=alpha,
+            theta=theta,
+            gamma=gamma,
+        )
+
+    # -- execution ---------------------------------------------------------------
+    def calculate_process_time(self, circuit: CircuitSpec) -> float:
+        """Processing time ``T_i`` of a sub-job on this device (§4).
+
+        Follows the problem-definition expression ``M·K·s·log2(QV)/(K_i·60)``
+        (the CLOPS model of Eq. 3 scaled by 1/60).
+        """
+        return processing_time_minutes(
+            shots=circuit.num_shots,
+            clops=self.clops,
+            quantum_volume=self.quantum_volume,
+        )
+
+    def compute_fidelity_breakdown(
+        self, fragment: CircuitSpec, num_devices: int, total_qubits: Optional[int] = None
+    ) -> FidelityBreakdown:
+        """Analytic fidelity of one fragment executed on this device (Eqs. 4-7).
+
+        Parameters
+        ----------
+        fragment:
+            The circuit fragment assigned to this device.
+        num_devices:
+            Total number of devices the parent job is split over (``N_devices``
+            in Eq. 6).
+        total_qubits:
+            Total qubit count of the parent job (``N_qubits`` in Eq. 6).
+            Defaults to ``fragment.num_qubits * num_devices`` when not given.
+        """
+        if total_qubits is None:
+            total_qubits = fragment.num_qubits * num_devices
+        return FidelityBreakdown(
+            device_name=self.name,
+            qubits_allocated=fragment.num_qubits,
+            single_qubit=single_qubit_fidelity(self.avg_single_qubit_error, fragment.depth),
+            two_qubit=two_qubit_fidelity(self.avg_two_qubit_error, fragment.num_two_qubit_gates),
+            readout=readout_fidelity(self.avg_readout_error, total_qubits, num_devices),
+        )
+
+    def execute(
+        self, fragment: CircuitSpec, num_devices: int = 1, total_qubits: Optional[int] = None
+    ) -> Generator[object, object, SubJobResult]:
+        """DES process executing one circuit fragment on this device.
+
+        The caller must already hold the fragment's qubits (reserved through
+        :meth:`request_qubits`).  Yields a timeout for the processing time and
+        returns a :class:`SubJobResult` with the fidelity breakdown.
+        """
+        duration = self.calculate_process_time(fragment)
+        start = self.env.now
+        yield self.env.timeout(duration)
+        self.completed_subjobs += 1
+        self.busy_time += self.env.now - start
+        self.qubit_seconds += fragment.num_qubits * (self.env.now - start)
+        breakdown = self.compute_fidelity_breakdown(fragment, num_devices, total_qubits)
+        return SubJobResult(
+            device_name=self.name,
+            qubits_allocated=fragment.num_qubits,
+            processing_time=duration,
+            fidelity_breakdown=breakdown,
+        )

@@ -1,0 +1,165 @@
+"""Job life-cycle tracking (paper §3, ``JobRecordsManager``).
+
+The records manager logs the key events of every job — ``arrival``,
+``start``, ``finish`` and ``fidelity`` — and assembles one
+:class:`JobRecord` per completed job.  The completed records are the raw
+material from which Table 2 and Fig. 6 are computed
+(:mod:`repro.metrics.aggregate`).
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.metrics.fidelity import FidelityBreakdown
+
+__all__ = ["JobEvent", "JobRecord", "JobRecordsManager"]
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """A single logged event in a job's life cycle."""
+
+    job_id: int
+    event: str
+    time: float
+    detail: Optional[str] = None
+
+
+@dataclass
+class JobRecord:
+    """Aggregated outcome of one completed job."""
+
+    job_id: int
+    num_qubits: int
+    depth: int
+    num_shots: int
+    arrival_time: float
+    start_time: float
+    finish_time: float
+    fidelity: float
+    communication_time: float
+    num_devices: int
+    devices: List[str] = field(default_factory=list)
+    allocation: List[int] = field(default_factory=list)
+    processing_time: float = 0.0
+    breakdowns: List[FidelityBreakdown] = field(default_factory=list)
+
+    @property
+    def wait_time(self) -> float:
+        """Time spent waiting for resources (start - arrival)."""
+        return self.start_time - self.arrival_time
+
+    @property
+    def turnaround_time(self) -> float:
+        """Total time in the system (finish - arrival)."""
+        return self.finish_time - self.arrival_time
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat representation for CSV export / analysis."""
+        return {
+            "job_id": self.job_id,
+            "num_qubits": self.num_qubits,
+            "depth": self.depth,
+            "num_shots": self.num_shots,
+            "arrival_time": self.arrival_time,
+            "start_time": self.start_time,
+            "finish_time": self.finish_time,
+            "wait_time": self.wait_time,
+            "turnaround_time": self.turnaround_time,
+            "processing_time": self.processing_time,
+            "fidelity": self.fidelity,
+            "communication_time": self.communication_time,
+            "num_devices": self.num_devices,
+            "devices": "|".join(self.devices),
+            "allocation": "|".join(str(a) for a in self.allocation),
+        }
+
+
+class JobRecordsManager:
+    """Tracks job events and completed-job records during a simulation."""
+
+    #: Event names logged by the framework.
+    EVENTS = ("arrival", "start", "finish", "fidelity", "failed")
+
+    def __init__(self) -> None:
+        self._events: List[JobEvent] = []
+        self._records: Dict[int, JobRecord] = {}
+
+    # -- event logging -------------------------------------------------------
+    def log_event(self, job_id: int, event: str, time: float, detail: Optional[str] = None) -> None:
+        """Append a raw life-cycle event."""
+        if event not in self.EVENTS:
+            raise ValueError(f"unknown event {event!r}; expected one of {self.EVENTS}")
+        self._events.append(JobEvent(job_id=job_id, event=event, time=time, detail=detail))
+
+    def log_arrival(self, job_id: int, time: float) -> None:
+        """Record a job arriving at the cloud portal."""
+        self.log_event(job_id, "arrival", time)
+
+    def log_start(self, job_id: int, time: float, detail: Optional[str] = None) -> None:
+        """Record a job starting execution (qubits reserved)."""
+        self.log_event(job_id, "start", time, detail)
+
+    def log_finish(self, job_id: int, time: float) -> None:
+        """Record a job finishing (qubits released)."""
+        self.log_event(job_id, "finish", time)
+
+    def log_fidelity(self, job_id: int, time: float, fidelity: float) -> None:
+        """Record the final fidelity computed for a job."""
+        self.log_event(job_id, "fidelity", time, detail=f"{fidelity:.6f}")
+
+    def log_failure(self, job_id: int, time: float, reason: str) -> None:
+        """Record a job failing."""
+        self.log_event(job_id, "failed", time, detail=reason)
+
+    def add_record(self, record: JobRecord) -> None:
+        """Store the aggregated record of a completed job."""
+        if record.job_id in self._records:
+            raise ValueError(f"duplicate record for job {record.job_id}")
+        self._records[record.job_id] = record
+
+    # -- queries ---------------------------------------------------------------
+    @property
+    def events(self) -> List[JobEvent]:
+        """All logged events in insertion order."""
+        return list(self._events)
+
+    def events_for(self, job_id: int) -> List[JobEvent]:
+        """All events of one job."""
+        return [e for e in self._events if e.job_id == job_id]
+
+    @property
+    def completed_records(self) -> List[JobRecord]:
+        """Records of all completed jobs, ordered by job id."""
+        return [self._records[k] for k in sorted(self._records)]
+
+    def record_for(self, job_id: int) -> Optional[JobRecord]:
+        """Record of one job (or ``None`` if not completed)."""
+        return self._records.get(job_id)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # -- export -----------------------------------------------------------------
+    def to_csv(self, path: str) -> None:
+        """Write all completed-job records to a CSV file."""
+        records = self.completed_records
+        if not records:
+            raise ValueError("no completed records to export")
+        fieldnames = list(records[0].as_dict().keys())
+        with open(path, "w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=fieldnames)
+            writer.writeheader()
+            for record in records:
+                writer.writerow(record.as_dict())
+
+    def events_to_csv(self, path: str) -> None:
+        """Write the raw event log to a CSV file."""
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["job_id", "event", "time", "detail"])
+            for event in self._events:
+                writer.writerow([event.job_id, event.event, event.time, event.detail or ""])

@@ -1,0 +1,79 @@
+"""Discrete-event simulation kernel.
+
+This subpackage is a from-scratch, dependency-free replacement for the subset
+of SimPy that the paper's simulation framework relies on:
+
+* :class:`~repro.des.environment.Environment` — the event loop and simulation
+  clock,
+* generator-based :class:`~repro.des.events.Process` objects,
+* :class:`~repro.des.events.Timeout`, :class:`~repro.des.events.Event`,
+  :class:`~repro.des.events.AllOf` / :class:`~repro.des.events.AnyOf`
+  composite conditions,
+* shared resources: :class:`~repro.des.resources.resource.Resource`,
+  :class:`~repro.des.resources.resource.PriorityResource`,
+  :class:`~repro.des.resources.container.Container` (used to model QPU qubit
+  pools) and :class:`~repro.des.resources.store.Store` /
+  :class:`~repro.des.resources.store.FilterStore` /
+  :class:`~repro.des.resources.store.PriorityStore`.
+
+The public API mirrors SimPy's so that code written against SimPy (such as the
+quantum-cloud layer in :mod:`repro.cloud`) ports over with only the import
+changed.
+
+Example
+-------
+>>> from repro import des
+>>> env = des.Environment()
+>>> def clock(env, results):
+...     while True:
+...         results.append(env.now)
+...         yield env.timeout(1)
+>>> ticks = []
+>>> _ = env.process(clock(env, ticks))
+>>> env.run(until=3)
+>>> ticks
+[0, 1, 2]
+"""
+
+from repro.des.environment import Environment
+from repro.des.events import (
+    AllOf,
+    AnyOf,
+    Condition,
+    ConditionValue,
+    Event,
+    Initialize,
+    Interruption,
+    Process,
+    Timeout,
+)
+from repro.des.exceptions import Interrupt, SimulationError, StopSimulation
+from repro.des.monitoring import PeriodicSampler, trace_events
+from repro.des.resources.container import Container
+from repro.des.resources.resource import PreemptiveResource, PriorityResource, Resource
+from repro.des.resources.store import FilterStore, PriorityItem, PriorityStore, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "ConditionValue",
+    "Container",
+    "Environment",
+    "Event",
+    "FilterStore",
+    "Initialize",
+    "Interrupt",
+    "Interruption",
+    "PeriodicSampler",
+    "PreemptiveResource",
+    "PriorityItem",
+    "PriorityResource",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "StopSimulation",
+    "Store",
+    "Timeout",
+    "trace_events",
+]

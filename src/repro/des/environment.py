@@ -1,0 +1,175 @@
+"""The simulation environment: clock, event queue and event loop."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from types import GeneratorType
+from typing import Any, Iterable, List, Optional, Tuple, Union
+
+from repro.des.events import NORMAL, PENDING, AllOf, AnyOf, Event, Process, Timeout
+from repro.des.exceptions import SimulationError, StopSimulation
+
+__all__ = ["Environment", "EmptySchedule"]
+
+#: Sentinel returned by :meth:`Environment.peek` when the queue is empty.
+Infinity = float("inf")
+
+
+class EmptySchedule(SimulationError):
+    """Raised by :meth:`Environment.step` when no more events are scheduled."""
+
+
+class Environment:
+    """Execution environment for an event-driven simulation.
+
+    The environment keeps the current simulation time (:attr:`now`), a
+    priority queue of scheduled events, and offers factory methods for the
+    common event types (:meth:`timeout`, :meth:`process`, :meth:`event`,
+    :meth:`all_of`, :meth:`any_of`).
+
+    Event ordering is deterministic: events scheduled for the same time are
+    processed in ``(priority, insertion order)`` order.
+
+    Parameters
+    ----------
+    initial_time:
+        Simulation time to start the clock at (default ``0``).
+    """
+
+    def __init__(self, initial_time: float = 0) -> None:
+        self._now: float = initial_time
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_proc: Optional[Process] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Environment now={self._now} queued={len(self._queue)}>"
+
+    # -- state -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed (or ``None``)."""
+        return self._active_proc
+
+    @property
+    def queue_size(self) -> int:
+        """Number of events currently scheduled."""
+        return len(self._queue)
+
+    # -- event factories -----------------------------------------------------
+    def event(self) -> Event:
+        """Create a new, untriggered :class:`~repro.des.events.Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`~repro.des.events.Timeout` firing after *delay*."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: GeneratorType) -> Process:
+        """Start a new :class:`~repro.des.events.Process` from *generator*."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Create a condition triggering when all *events* have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Create a condition triggering when any of *events* has triggered."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0) -> None:
+        """Schedule *event* to be processed after *delay* time units."""
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Return the time of the next scheduled event (``inf`` if none)."""
+        return self._queue[0][0] if self._queue else Infinity
+
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises :class:`EmptySchedule` if no event is scheduled.  If the event
+        failed and its exception was never *defused* (nobody waited for it),
+        the exception is re-raised here and crashes the simulation — mirroring
+        SimPy's behaviour so programming errors inside processes surface.
+        """
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("No scheduled events left") from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        # ``callbacks`` may be None if the event was already processed (this
+        # should never happen because events are only scheduled once).
+        for callback in callbacks or ():
+            callback(event)
+
+        if not event._ok and not event._defused:
+            exc = event._value
+            if isinstance(exc, BaseException):
+                raise exc
+            raise SimulationError(f"Event {event!r} failed with non-exception {exc!r}")
+
+    def run(self, until: Union[None, float, Event] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            * ``None`` — run until the event queue is exhausted,
+            * a number — run until the clock reaches that time,
+            * an :class:`~repro.des.events.Event` — run until that event has
+              been processed and return its value.
+
+        Returns
+        -------
+        The value of the ``until`` event, if one was given.
+        """
+        if until is not None and not isinstance(until, Event):
+            # Interpret as a point in time.
+            at = float(until)
+            if at <= self._now:
+                raise ValueError(f"until (={at}) must be greater than the current time")
+            until = Event(self)
+            until._ok = True
+            until._value = None
+            # Schedule with URGENT priority so that the simulation stops
+            # before normal events scheduled for exactly ``at``.
+            self.schedule(until, priority=0, delay=at - self._now)
+        elif until is not None:
+            if until.callbacks is None:
+                # Already processed: return its value immediately.
+                return until.value
+
+        if until is not None:
+            assert until.callbacks is not None
+            until.callbacks.append(StopSimulation.callback)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as exc:
+            return exc.value
+        except EmptySchedule:
+            if until is not None and until._value is PENDING:
+                raise RuntimeError(
+                    f"No scheduled events left but your simulation has not finished: {until!r}"
+                ) from None
+        return None
+
+    def rewind(self, to_time: float = 0) -> None:
+        """Reset the clock and drop all scheduled events.
+
+        Convenience used by tests and by repeated benchmark runs; SimPy does
+        not offer this but it is harmless because environments are cheap.
+        """
+        self._now = to_time
+        self._queue.clear()
+        self._active_proc = None

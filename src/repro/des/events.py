@@ -1,0 +1,450 @@
+"""Event types for the discrete-event simulation kernel.
+
+The design follows SimPy's event model:
+
+* An :class:`Event` may be *pending*, *triggered* (it has a value and is
+  scheduled in the environment's queue) or *processed* (its callbacks have
+  been executed).
+* :class:`Timeout` events trigger themselves a fixed delay after creation.
+* :class:`Process` wraps a Python generator.  Each value the generator yields
+  must be an event; the process is resumed when that event is processed.  The
+  process itself is an event that triggers when the generator terminates.
+* :class:`Condition` (and its helpers :class:`AllOf` / :class:`AnyOf`) compose
+  several events into one.
+"""
+
+from __future__ import annotations
+
+from types import GeneratorType
+from typing import Any, Callable, Iterable, List, Optional
+
+from repro.des.exceptions import Interrupt
+
+__all__ = [
+    "PENDING",
+    "URGENT",
+    "NORMAL",
+    "Event",
+    "Timeout",
+    "Initialize",
+    "Interruption",
+    "Process",
+    "ConditionValue",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+]
+
+
+#: Sentinel for the value of an event that has not been triggered yet.
+PENDING = object()
+
+#: Scheduling priority for urgent (internal) events.
+URGENT = 0
+#: Scheduling priority for normal events.
+NORMAL = 1
+
+
+class Event:
+    """A single event that may happen at some point in simulated time.
+
+    Events are the communication mechanism between processes and the
+    environment.  An event
+
+    * may be *triggered* with :meth:`succeed`/:meth:`fail` (or by a subclass),
+      which schedules it in the environment,
+    * collects *callbacks* which are invoked when the environment processes
+      the event,
+    * carries a *value* (the value passed to :meth:`succeed`, or the exception
+      passed to :meth:`fail`).
+
+    Processes obtain the value of an event by yielding it::
+
+        value = yield some_event
+    """
+
+    def __init__(self, env: "Any") -> None:
+        self.env = env
+        #: Callables invoked when the event is processed.  ``None`` once the
+        #: event has been processed.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    def __repr__(self) -> str:
+        detail = self._desc()
+        state = "pending"
+        if self.triggered:
+            state = "triggered"
+        if self.processed:
+            state = "processed"
+        return f"<{detail} object ({state}) at {id(self):#x}>"
+
+    def _desc(self) -> str:
+        return self.__class__.__name__
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """``True`` if the event has a value and is (or was) scheduled."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """``True`` once all callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """``True`` if the event succeeded, ``False`` if it failed.
+
+        Raises :class:`AttributeError` if the event is not yet triggered.
+        """
+        if self._value is PENDING:
+            raise AttributeError(f"Value of {self!r} is not yet available")
+        return self._ok
+
+    @property
+    def defused(self) -> bool:
+        """``True`` if a failed event's exception has been handled.
+
+        A failed event whose exception is never handled (i.e. no process
+        yields it and nobody sets ``defused``) crashes the simulation when it
+        is processed.
+        """
+        return self._defused
+
+    @defused.setter
+    def defused(self, value: bool) -> None:
+        self._defused = bool(value)
+
+    @property
+    def value(self) -> Any:
+        """Value of the event (or the exception for a failed event)."""
+        if self._value is PENDING:
+            raise AttributeError(f"Value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state and value of *event*.
+
+        Used to forward the outcome of one event to another (e.g. when a
+        condition event forwards its result).
+        """
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self)
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with the given *value*."""
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with *exception* as its value."""
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    # -- composition ------------------------------------------------------
+    def __and__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.all_events, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.any_events, [self, other])
+
+
+class Timeout(Event):
+    """An event that triggers automatically after *delay* time units."""
+
+    def __init__(self, env: "Any", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"Negative delay {delay}")
+        super().__init__(env)
+        self._delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, priority=NORMAL, delay=delay)
+
+    def _desc(self) -> str:
+        return f"{self.__class__.__name__}({self._delay})"
+
+    @property
+    def delay(self) -> float:
+        """The delay this timeout was created with."""
+        return self._delay
+
+
+class Initialize(Event):
+    """Initializes a process; scheduled immediately on process creation."""
+
+    def __init__(self, env: "Any", process: "Process") -> None:
+        super().__init__(env)
+        self.callbacks = [process._resume]
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=URGENT)
+
+
+class Interruption(Event):
+    """Immediately schedules an :class:`Interrupt` to be thrown into a process."""
+
+    def __init__(self, process: "Process", cause: Any) -> None:
+        super().__init__(process.env)
+        self.callbacks = [self._interrupt]
+        self._ok = False
+        self._value = Interrupt(cause)
+        self._defused = True
+
+        if process._value is not PENDING:
+            raise RuntimeError(f"{process!r} has terminated and cannot be interrupted")
+        if process is self.env.active_process:
+            raise RuntimeError("A process is not allowed to interrupt itself")
+
+        self.process = process
+        self.env.schedule(self, priority=URGENT)
+
+    def _interrupt(self, event: "Event") -> None:
+        process = self.process
+        if process._value is not PENDING:
+            # Process terminated before the interrupt could be delivered.
+            return
+        # Detach the process from whatever event it was waiting for, then
+        # resume it with the interrupt as a failed event.
+        if process._target is not None and process._target.callbacks is not None:
+            process._target.callbacks.remove(process._resume)
+        process._resume(self)
+
+
+class Process(Event):
+    """A process wraps a generator and is resumed by the events it yields.
+
+    The process itself is an event: it triggers with the generator's return
+    value once the generator terminates (or with the exception if the
+    generator raised).  Other processes can therefore wait for a process to
+    finish by yielding it.
+    """
+
+    def __init__(self, env: "Any", generator: GeneratorType) -> None:
+        if not hasattr(generator, "throw"):
+            raise ValueError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        #: The event the process is currently waiting for.
+        self._target: Optional[Event] = Initialize(env, self)
+
+    def _desc(self) -> str:
+        return f"{self.__class__.__name__}({self.name})"
+
+    @property
+    def name(self) -> str:
+        """Name of the wrapped generator function."""
+        return self._generator.__name__  # type: ignore[attr-defined]
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process is currently waiting for (or ``None``)."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` until the wrapped generator terminates."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Interrupt the process by throwing :class:`Interrupt` into it."""
+        Interruption(self, cause)
+
+    # -- internal ----------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Resume the generator with the outcome of *event*."""
+        self.env._active_proc = self
+        while True:
+            try:
+                if event._ok:
+                    event = self._generator.send(event._value)
+                else:
+                    # The process has "handled" the failure by observing it.
+                    event._defused = True
+                    exc = type(event._value)(*event._value.args)
+                    exc.__cause__ = event._value
+                    event = self._generator.throw(exc)
+            except StopIteration as exc:
+                # Generator finished: the process event succeeds.
+                event = None  # type: ignore[assignment]
+                self._ok = True
+                self._value = exc.args[0] if exc.args else None
+                self.env.schedule(self)
+                break
+            except BaseException as exc:
+                # Generator raised: the process event fails.
+                event = None  # type: ignore[assignment]
+                self._ok = False
+                self._value = exc
+                self.env.schedule(self)
+                break
+
+            # The generator yielded a new event to wait for.
+            try:
+                if event.callbacks is not None:
+                    # The event is not yet processed: register and go to sleep.
+                    event.callbacks.append(self._resume)
+                    break
+                # The event was already processed: loop and resume immediately
+                # with its value.
+            except AttributeError:
+                if not hasattr(event, "callbacks"):
+                    raise RuntimeError(f"Invalid yield value {event!r}") from None
+                raise
+
+        self._target = event
+        self.env._active_proc = None
+
+
+class ConditionValue:
+    """Result of a :class:`Condition`: an ordered mapping of event -> value."""
+
+    def __init__(self, *events: Event) -> None:
+        self.events: List[Event] = list(events)
+
+    def __getitem__(self, key: Event) -> Any:
+        if key not in self.events:
+            raise KeyError(str(key))
+        return key._value
+
+    def __contains__(self, key: Event) -> bool:
+        return key in self.events
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ConditionValue):
+            return self.todict() == other.todict()
+        if isinstance(other, dict):
+            return self.todict() == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"<ConditionValue {self.todict()!r}>"
+
+    def __iter__(self):
+        return iter(self.keys())
+
+    def keys(self) -> Iterable[Event]:
+        return iter(self.events)
+
+    def values(self) -> Iterable[Any]:
+        return (event._value for event in self.events)
+
+    def items(self) -> Iterable[tuple]:
+        return ((event, event._value) for event in self.events)
+
+    def todict(self) -> dict:
+        """Return a plain ``dict`` mapping events to their values."""
+        return {event: event._value for event in self.events}
+
+
+class Condition(Event):
+    """An event that triggers once *evaluate* is satisfied over *events*.
+
+    The value of a condition is a :class:`ConditionValue` holding the values
+    of all events that had triggered by the time the condition fired.
+    """
+
+    def __init__(
+        self,
+        env: "Any",
+        evaluate: Callable[[List[Event], int], bool],
+        events: Iterable[Event],
+    ) -> None:
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        if not self._events:
+            # Immediately succeed with an empty value.
+            self.succeed(ConditionValue())
+            return
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("Conditions may only span events of the same environment")
+
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+        # Register a callback to collect values once the condition triggers.
+        assert self.callbacks is not None
+        self.callbacks.append(self._build_value)
+
+    def _desc(self) -> str:
+        return f"{self.__class__.__name__}({self._evaluate.__name__}, {self._events})"
+
+    def _populate_value(self, value: ConditionValue) -> None:
+        """Recursively collect the values of all nested triggered events."""
+        for event in self._events:
+            if isinstance(event, Condition):
+                event._populate_value(value)
+            elif event.callbacks is None:
+                value.events.append(event)
+
+    def _build_value(self, event: Event) -> None:
+        self._remove_check_callbacks()
+        if event._ok:
+            self._value = ConditionValue()
+            self._populate_value(self._value)
+
+    def _remove_check_callbacks(self) -> None:
+        for event in self._events:
+            if event.callbacks is not None and self._check in event.callbacks:
+                event.callbacks.remove(self._check)
+            if isinstance(event, Condition):
+                event._remove_check_callbacks()
+
+    def _check(self, event: Event) -> None:
+        if self._value is not PENDING:
+            return
+        self._count += 1
+        if not event._ok:
+            # Abort on the first failing event.
+            event._defused = True
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(ConditionValue())
+
+    @staticmethod
+    def all_events(events: List[Event], count: int) -> bool:
+        """``True`` once *all* events have triggered."""
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events: List[Event], count: int) -> bool:
+        """``True`` once at least one event has triggered."""
+        return count > 0 or len(events) == 0
+
+
+class AllOf(Condition):
+    """Condition that triggers once all of *events* have triggered."""
+
+    def __init__(self, env: "Any", events: Iterable[Event]) -> None:
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Condition that triggers once any of *events* has triggered."""
+
+    def __init__(self, env: "Any", events: Iterable[Event]) -> None:
+        super().__init__(env, Condition.any_events, events)

@@ -1,0 +1,156 @@
+"""Base classes for shared resources.
+
+A resource mediates access between processes via two event types:
+
+* :class:`Put` — a request to add something to the resource (capacity, an
+  item, an amount),
+* :class:`Get` — a request to take something out.
+
+Both queue up on the resource and are triggered by the resource's
+``_do_put`` / ``_do_get`` hooks as capacity becomes available.  The scheme is
+identical to SimPy's ``simpy.resources.base``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, TYPE_CHECKING
+
+from repro.des.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.environment import Environment
+
+__all__ = ["Put", "Get", "BaseResource"]
+
+
+class Put(Event):
+    """Generic request to put something into a *resource*.
+
+    The event can be used as a context manager::
+
+        with resource.put(item) as request:
+            yield request
+
+    which cancels the request automatically if the process is interrupted
+    while waiting.
+    """
+
+    def __init__(self, resource: "BaseResource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.proc = resource.env.active_process
+        resource.put_queue.append(self)
+        assert self.callbacks is not None
+        self.callbacks.append(resource._trigger_get)
+        resource._trigger_put(None)
+
+    def __enter__(self) -> "Put":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.cancel()
+
+    def cancel(self) -> None:
+        """Withdraw the request if it has not been triggered yet."""
+        if not self.triggered:
+            self.resource.put_queue.remove(self)
+
+
+class Get(Event):
+    """Generic request to get something out of a *resource*."""
+
+    def __init__(self, resource: "BaseResource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.proc = resource.env.active_process
+        resource.get_queue.append(self)
+        assert self.callbacks is not None
+        self.callbacks.append(resource._trigger_put)
+        resource._trigger_get(None)
+
+    def __enter__(self) -> "Get":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.cancel()
+
+    def cancel(self) -> None:
+        """Withdraw the request if it has not been triggered yet."""
+        if not self.triggered:
+            self.resource.get_queue.remove(self)
+
+
+class BaseResource:
+    """Abstract base of all resources.
+
+    Subclasses implement :meth:`_do_put` and :meth:`_do_get`, which try to
+    satisfy a single queued request and trigger it on success.
+    """
+
+    #: Event class used for put requests.
+    PutQueue = list
+    #: Event class used for get requests.
+    GetQueue = list
+
+    put = Put
+    get = Get
+
+    def __init__(self, env: "Environment", capacity: float) -> None:
+        self._env = env
+        self._capacity = capacity
+        self.put_queue: List[Put] = self.PutQueue()
+        self.get_queue: List[Get] = self.GetQueue()
+        # Bind the put/get event constructors to this instance.
+        self.put = lambda *args, **kwargs: type(self).put(self, *args, **kwargs)  # type: ignore[assignment]
+        self.get = lambda *args, **kwargs: type(self).get(self, *args, **kwargs)  # type: ignore[assignment]
+
+    @property
+    def env(self) -> "Environment":
+        """The environment this resource lives in."""
+        return self._env
+
+    @property
+    def capacity(self) -> float:
+        """Maximum capacity of the resource."""
+        return self._capacity
+
+    # -- hooks to implement in subclasses -----------------------------------
+    def _do_put(self, event: Put) -> Optional[bool]:
+        raise NotImplementedError(self)
+
+    def _do_get(self, event: Get) -> Optional[bool]:
+        raise NotImplementedError(self)
+
+    # -- queue pumping -------------------------------------------------------
+    def _trigger_put(self, get_event: Optional[Get]) -> None:
+        """Try to satisfy queued put requests (called after every get)."""
+        idx = 0
+        while idx < len(self.put_queue):
+            put_event = self.put_queue[idx]
+            proceed = self._do_put(put_event)
+            if not put_event.triggered:
+                idx += 1
+            elif self.put_queue.pop(idx) != put_event:  # pragma: no cover - invariant
+                raise RuntimeError("Put queue invariant violated")
+            if proceed is False:
+                break
+
+    def _trigger_get(self, put_event: Optional[Put]) -> None:
+        """Try to satisfy queued get requests (called after every put)."""
+        idx = 0
+        while idx < len(self.get_queue):
+            get_event = self.get_queue[idx]
+            proceed = self._do_get(get_event)
+            if not get_event.triggered:
+                idx += 1
+            elif self.get_queue.pop(idx) != get_event:  # pragma: no cover - invariant
+                raise RuntimeError("Get queue invariant violated")
+            if proceed is False:
+                break
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.__class__.__name__} capacity={self._capacity}>"
+
+    # Keep unbound class-level references available for subclass overriding.
+    _do_put.__doc__ = "Satisfy *event* if possible; return False to stop pumping the queue."
+    _do_get.__doc__ = "Satisfy *event* if possible; return False to stop pumping the queue."

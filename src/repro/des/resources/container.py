@@ -1,0 +1,93 @@
+"""Continuous/discrete level containers (SimPy ``Container``).
+
+The quantum-cloud layer uses one container per QPU to model its pool of free
+qubits: allocating ``a_i`` qubits to a sub-job is a ``get(a_i)``, and
+releasing them at job completion is a ``put(a_i)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING, Union
+
+from repro.des.resources.base import BaseResource, Get, Put
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.environment import Environment
+
+__all__ = ["ContainerPut", "ContainerGet", "Container"]
+
+Number = Union[int, float]
+
+
+class ContainerPut(Put):
+    """Request to put *amount* of matter into a :class:`Container`."""
+
+    def __init__(self, container: "Container", amount: Number) -> None:
+        if amount <= 0:
+            raise ValueError(f"amount (={amount}) must be > 0")
+        self.amount = amount
+        super().__init__(container)
+
+
+class ContainerGet(Get):
+    """Request to take *amount* of matter out of a :class:`Container`."""
+
+    def __init__(self, container: "Container", amount: Number) -> None:
+        if amount <= 0:
+            raise ValueError(f"amount (={amount}) must be > 0")
+        self.amount = amount
+        super().__init__(container)
+
+
+class Container(BaseResource):
+    """A resource holding a continuous or discrete amount of matter.
+
+    Parameters
+    ----------
+    env:
+        The owning environment.
+    capacity:
+        Maximum level (default: unbounded).
+    init:
+        Initial level (default ``0``).
+    """
+
+    put = ContainerPut
+    get = ContainerGet
+
+    def __init__(
+        self,
+        env: "Environment",
+        capacity: Number = float("inf"),
+        init: Number = 0,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be > 0")
+        if init < 0:
+            raise ValueError("init must be >= 0")
+        if init > capacity:
+            raise ValueError("init must be <= capacity")
+        super().__init__(env, capacity)
+        self._level: Number = init
+
+    @property
+    def level(self) -> Number:
+        """Current amount of matter in the container."""
+        return self._level
+
+    def _do_put(self, event: ContainerPut) -> Optional[bool]:
+        if self._capacity - self._level >= event.amount:
+            self._level += event.amount
+            event.succeed()
+            return True
+        return None
+
+    def _do_get(self, event: ContainerGet) -> Optional[bool]:
+        if self._level >= event.amount:
+            self._level -= event.amount
+            event.succeed()
+            return True
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Container level={self._level}/{self._capacity}>"

@@ -1,0 +1,140 @@
+"""Object stores (SimPy ``Store`` family).
+
+Stores hold arbitrary Python objects.  They are used by the quantum-cloud
+layer to model per-device job queues and classical message channels between
+QPUs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, TYPE_CHECKING
+
+from repro.des.resources.base import BaseResource, Get, Put
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.environment import Environment
+
+__all__ = [
+    "StorePut",
+    "StoreGet",
+    "FilterStoreGet",
+    "Store",
+    "FilterStore",
+    "PriorityItem",
+    "PriorityStore",
+]
+
+
+class StorePut(Put):
+    """Request to put *item* into a :class:`Store`."""
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        self.item = item
+        super().__init__(store)
+
+
+class StoreGet(Get):
+    """Request to take any item out of a :class:`Store`."""
+
+
+class FilterStoreGet(StoreGet):
+    """Request to take an item matching *filter* out of a :class:`FilterStore`."""
+
+    def __init__(self, store: "FilterStore", filter: Callable[[Any], bool] = lambda item: True) -> None:
+        self.filter = filter
+        super().__init__(store)
+
+
+class Store(BaseResource):
+    """A store of arbitrary objects with optional bounded capacity."""
+
+    put = StorePut
+    get = StoreGet
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be > 0")
+        super().__init__(env, capacity)
+        #: Items currently held by the store.
+        self.items: List[Any] = []
+
+    def _do_put(self, event: StorePut) -> Optional[bool]:
+        if len(self.items) < self._capacity:
+            self.items.append(event.item)
+            event.succeed()
+        return None
+
+    def _do_get(self, event: StoreGet) -> Optional[bool]:
+        if self.items:
+            event.succeed(self.items.pop(0))
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.__class__.__name__} items={len(self.items)}>"
+
+
+class FilterStore(Store):
+    """A store from which items are retrieved by a filter predicate.
+
+    ``get(lambda item: ...)`` returns the first item (FIFO order) matching the
+    predicate.  Unlike :class:`Store`, a pending get does not block gets
+    queued behind it whose filters match other items.
+    """
+
+    get = FilterStoreGet
+
+    def _do_get(self, event: FilterStoreGet) -> Optional[bool]:
+        for item in self.items:
+            if event.filter(item):
+                self.items.remove(item)
+                event.succeed(item)
+                break
+        return True
+
+
+class PriorityItem:
+    """Wrap an arbitrary *item* with an orderable *priority*.
+
+    Smaller priorities are retrieved first from a :class:`PriorityStore`.
+    """
+
+    __slots__ = ("priority", "item")
+
+    def __init__(self, priority: Any, item: Any) -> None:
+        self.priority = priority
+        self.item = item
+
+    def __lt__(self, other: "PriorityItem") -> bool:
+        return self.priority < other.priority
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PriorityItem):
+            return NotImplemented
+        return self.priority == other.priority and self.item == other.item
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PriorityItem(priority={self.priority!r}, item={self.item!r})"
+
+
+class PriorityStore(Store):
+    """A store that hands out items in priority order (smallest first)."""
+
+    def _do_put(self, event: StorePut) -> Optional[bool]:
+        if len(self.items) < self._capacity:
+            # Insert keeping the list sorted (stable for equal priorities).
+            item = event.item
+            lo, hi = 0, len(self.items)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if item < self.items[mid]:
+                    hi = mid
+                else:
+                    lo = mid + 1
+            self.items.insert(lo, item)
+            event.succeed()
+        return None
+
+    def _do_get(self, event: StoreGet) -> Optional[bool]:
+        if self.items:
+            event.succeed(self.items.pop(0))
+        return None

@@ -1,0 +1,37 @@
+"""A minimal Gymnasium-compatible environment API.
+
+The paper formulates the allocation problem as a single-step MDP exposed
+through the Gymnasium API (§4.1).  Gymnasium itself is not available offline,
+so this subpackage provides a drop-in substitute with the same signatures:
+
+* :class:`~repro.gymapi.core.Env` with ``reset() -> (obs, info)`` and
+  ``step(action) -> (obs, reward, terminated, truncated, info)``,
+* :mod:`~repro.gymapi.spaces` with :class:`~repro.gymapi.spaces.Box`,
+  :class:`~repro.gymapi.spaces.Discrete` and
+  :class:`~repro.gymapi.spaces.MultiDiscrete`,
+* common wrappers (:class:`~repro.gymapi.wrappers.TimeLimit`,
+  :class:`~repro.gymapi.wrappers.ClipAction`,
+  :class:`~repro.gymapi.wrappers.NormalizeObservation`,
+  :class:`~repro.gymapi.wrappers.RecordEpisodeStatistics`).
+"""
+
+from repro.gymapi import spaces, wrappers
+from repro.gymapi.core import (
+    ActionWrapper,
+    Env,
+    ObservationWrapper,
+    RewardWrapper,
+    Wrapper,
+)
+from repro.gymapi.seeding import np_random
+
+__all__ = [
+    "ActionWrapper",
+    "Env",
+    "ObservationWrapper",
+    "RewardWrapper",
+    "Wrapper",
+    "np_random",
+    "spaces",
+    "wrappers",
+]

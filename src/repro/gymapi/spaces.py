@@ -1,0 +1,281 @@
+"""Observation/action spaces (Gymnasium-compatible subset).
+
+Only the space types the reproduction needs are implemented:
+
+* :class:`Box` — bounded/unbounded continuous vectors (the paper's 16-dim
+  state and 5-dim action),
+* :class:`Discrete` — a finite set of integers (used by baseline policies and
+  tests),
+* :class:`MultiDiscrete` — a vector of independent discrete dimensions,
+* :class:`Dict` — a dictionary of component spaces (used by diagnostic
+  wrappers).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.gymapi.seeding import np_random
+
+__all__ = ["Space", "Box", "Discrete", "MultiDiscrete", "Dict", "flatten", "flatdim"]
+
+
+class Space:
+    """Base class of all spaces."""
+
+    def __init__(
+        self,
+        shape: Optional[Tuple[int, ...]] = None,
+        dtype: Optional[Any] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self._shape = None if shape is None else tuple(shape)
+        self.dtype = None if dtype is None else np.dtype(dtype)
+        self._np_random: Optional[np.random.Generator] = None
+        if seed is not None:
+            self.seed(seed)
+
+    @property
+    def shape(self) -> Optional[Tuple[int, ...]]:
+        """Shape of elements of the space."""
+        return self._shape
+
+    @property
+    def np_random(self) -> np.random.Generator:
+        """The space's random generator (lazily created)."""
+        if self._np_random is None:
+            self.seed()
+        assert self._np_random is not None
+        return self._np_random
+
+    def seed(self, seed: Optional[int] = None) -> int:
+        """Seed the space's random generator and return the seed used."""
+        self._np_random, used = np_random(seed)
+        return used
+
+    def sample(self) -> Any:
+        """Draw a random element of the space."""
+        raise NotImplementedError
+
+    def contains(self, x: Any) -> bool:
+        """Return ``True`` if *x* is a member of the space."""
+        raise NotImplementedError
+
+    def __contains__(self, x: Any) -> bool:
+        return self.contains(x)
+
+
+class Box(Space):
+    """A (possibly unbounded) box in :math:`R^n`.
+
+    Parameters
+    ----------
+    low, high:
+        Scalars or arrays giving the inclusive bounds.
+    shape:
+        Required when *low*/*high* are scalars.
+    dtype:
+        Element dtype (default ``float32`` to match Gymnasium).
+    """
+
+    def __init__(
+        self,
+        low: Union[float, np.ndarray],
+        high: Union[float, np.ndarray],
+        shape: Optional[Sequence[int]] = None,
+        dtype: Any = np.float32,
+        seed: Optional[int] = None,
+    ) -> None:
+        if shape is not None:
+            shape = tuple(int(dim) for dim in shape)
+        elif isinstance(low, np.ndarray):
+            shape = low.shape
+        elif isinstance(high, np.ndarray):
+            shape = high.shape
+        else:
+            shape = (1,)
+
+        low_arr = np.full(shape, low, dtype=dtype) if np.isscalar(low) else np.asarray(low, dtype=dtype)
+        high_arr = np.full(shape, high, dtype=dtype) if np.isscalar(high) else np.asarray(high, dtype=dtype)
+        if low_arr.shape != shape or high_arr.shape != shape:
+            raise ValueError("low/high shapes do not match the requested shape")
+        if np.any(low_arr > high_arr):
+            raise ValueError("low must be <= high elementwise")
+
+        super().__init__(shape, dtype, seed)
+        self.low = low_arr
+        self.high = high_arr
+        self.bounded_below = np.isfinite(self.low)
+        self.bounded_above = np.isfinite(self.high)
+
+    def is_bounded(self, manner: str = "both") -> bool:
+        """Whether the box is bounded ``"below"``, ``"above"`` or ``"both"``."""
+        below = bool(np.all(self.bounded_below))
+        above = bool(np.all(self.bounded_above))
+        if manner == "both":
+            return below and above
+        if manner == "below":
+            return below
+        if manner == "above":
+            return above
+        raise ValueError(f"manner must be 'both', 'below' or 'above', got {manner!r}")
+
+    def sample(self) -> np.ndarray:
+        """Uniformly sample inside the box (exponential tails where unbounded)."""
+        high = self.high.astype(np.float64)
+        low = self.low.astype(np.float64)
+        sample = np.empty(self.shape, dtype=np.float64)
+
+        unbounded = ~self.bounded_below & ~self.bounded_above
+        upp_bounded = ~self.bounded_below & self.bounded_above
+        low_bounded = self.bounded_below & ~self.bounded_above
+        bounded = self.bounded_below & self.bounded_above
+
+        sample[unbounded] = self.np_random.normal(size=unbounded[unbounded].shape)
+        sample[low_bounded] = self.np_random.exponential(size=low_bounded[low_bounded].shape) + low[low_bounded]
+        sample[upp_bounded] = high[upp_bounded] - self.np_random.exponential(size=upp_bounded[upp_bounded].shape)
+        sample[bounded] = self.np_random.uniform(low=low[bounded], high=high[bounded], size=bounded[bounded].shape)
+        return sample.astype(self.dtype)
+
+    def contains(self, x: Any) -> bool:
+        x = np.asarray(x, dtype=self.dtype)
+        return bool(
+            x.shape == self.shape
+            and np.all(x >= self.low - 1e-6)
+            and np.all(x <= self.high + 1e-6)
+        )
+
+    def clip(self, x: np.ndarray) -> np.ndarray:
+        """Clip *x* into the box."""
+        return np.clip(np.asarray(x, dtype=self.dtype), self.low, self.high)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Box({self.low.min()}, {self.high.max()}, {self.shape}, {self.dtype})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Box)
+            and self.shape == other.shape
+            and np.allclose(self.low, other.low)
+            and np.allclose(self.high, other.high)
+        )
+
+
+class Discrete(Space):
+    """A space of ``n`` integers ``{start, ..., start + n - 1}``."""
+
+    def __init__(self, n: int, seed: Optional[int] = None, start: int = 0) -> None:
+        if n <= 0:
+            raise ValueError("n must be > 0")
+        super().__init__((), np.int64, seed)
+        self.n = int(n)
+        self.start = int(start)
+
+    def sample(self) -> int:
+        return int(self.start + self.np_random.integers(self.n))
+
+    def contains(self, x: Any) -> bool:
+        if isinstance(x, np.ndarray):
+            if x.shape != () or not np.issubdtype(x.dtype, np.integer):
+                return False
+            x = int(x)
+        if not isinstance(x, (int, np.integer)):
+            return False
+        return self.start <= int(x) < self.start + self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Discrete({self.n})" if self.start == 0 else f"Discrete({self.n}, start={self.start})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Discrete) and self.n == other.n and self.start == other.start
+
+
+class MultiDiscrete(Space):
+    """A cartesian product of :class:`Discrete` spaces."""
+
+    def __init__(self, nvec: Sequence[int], seed: Optional[int] = None) -> None:
+        self.nvec = np.asarray(nvec, dtype=np.int64)
+        if np.any(self.nvec <= 0):
+            raise ValueError("all entries of nvec must be > 0")
+        super().__init__(self.nvec.shape, np.int64, seed)
+
+    def sample(self) -> np.ndarray:
+        return (self.np_random.random(self.nvec.shape) * self.nvec).astype(np.int64)
+
+    def contains(self, x: Any) -> bool:
+        x = np.asarray(x)
+        return bool(x.shape == self.shape and np.all(x >= 0) and np.all(x < self.nvec))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MultiDiscrete({self.nvec.tolist()})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MultiDiscrete) and np.array_equal(self.nvec, other.nvec)
+
+
+class Dict(Space):
+    """A dictionary of component spaces."""
+
+    def __init__(self, spaces: Mapping[str, Space], seed: Optional[int] = None) -> None:
+        self.spaces = OrderedDict(spaces)
+        super().__init__(None, None, seed)
+
+    def seed(self, seed: Optional[int] = None) -> int:
+        used = super().seed(seed)
+        for i, space in enumerate(self.spaces.values()):
+            space.seed(None if seed is None else seed + i + 1)
+        return used
+
+    def sample(self) -> "OrderedDict[str, Any]":
+        return OrderedDict((key, space.sample()) for key, space in self.spaces.items())
+
+    def contains(self, x: Any) -> bool:
+        if not isinstance(x, Mapping) or set(x.keys()) != set(self.spaces.keys()):
+            return False
+        return all(space.contains(x[key]) for key, space in self.spaces.items())
+
+    def __getitem__(self, key: str) -> Space:
+        return self.spaces[key]
+
+    def __iter__(self):
+        return iter(self.spaces)
+
+    def __len__(self) -> int:
+        return len(self.spaces)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Dict({dict(self.spaces)!r})"
+
+
+def flatdim(space: Space) -> int:
+    """Number of scalar entries when flattening an element of *space*."""
+    if isinstance(space, Box):
+        return int(np.prod(space.shape))
+    if isinstance(space, Discrete):
+        return space.n
+    if isinstance(space, MultiDiscrete):
+        return int(np.sum(space.nvec))
+    if isinstance(space, Dict):
+        return sum(flatdim(s) for s in space.spaces.values())
+    raise NotImplementedError(f"Unsupported space {space!r}")
+
+
+def flatten(space: Space, x: Any) -> np.ndarray:
+    """Flatten an element *x* of *space* into a 1-D float64 array."""
+    if isinstance(space, Box):
+        return np.asarray(x, dtype=np.float64).flatten()
+    if isinstance(space, Discrete):
+        onehot = np.zeros(space.n, dtype=np.float64)
+        onehot[int(x) - space.start] = 1.0
+        return onehot
+    if isinstance(space, MultiDiscrete):
+        offsets = np.concatenate(([0], np.cumsum(space.nvec)[:-1]))
+        onehot = np.zeros(int(np.sum(space.nvec)), dtype=np.float64)
+        onehot[offsets + np.asarray(x, dtype=np.int64)] = 1.0
+        return onehot
+    if isinstance(space, Dict):
+        return np.concatenate([flatten(s, x[key]) for key, s in space.spaces.items()])
+    raise NotImplementedError(f"Unsupported space {space!r}")

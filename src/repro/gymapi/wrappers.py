@@ -1,0 +1,164 @@
+"""Common environment wrappers (Gymnasium-compatible subset)."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, Optional, SupportsFloat, Tuple
+
+import numpy as np
+
+from repro.gymapi.core import ActionWrapper, Env, ObservationWrapper, Wrapper
+from repro.gymapi.spaces import Box
+
+__all__ = [
+    "RunningMeanStd",
+    "TimeLimit",
+    "ClipAction",
+    "RescaleAction",
+    "NormalizeObservation",
+    "RecordEpisodeStatistics",
+]
+
+
+class RunningMeanStd:
+    """Tracks the running mean and variance of a stream of arrays.
+
+    Uses the parallel-variance (Chan et al.) update so batches of any size can
+    be folded in.  This mirrors the utility of the same name used by common
+    PPO implementations for observation/return normalisation.
+    """
+
+    def __init__(self, epsilon: float = 1e-4, shape: Tuple[int, ...] = ()) -> None:
+        self.mean = np.zeros(shape, dtype=np.float64)
+        self.var = np.ones(shape, dtype=np.float64)
+        self.count = float(epsilon)
+
+    def update(self, batch: np.ndarray) -> None:
+        """Fold a batch (first axis = batch axis) into the running moments."""
+        batch = np.asarray(batch, dtype=np.float64)
+        batch_mean = batch.mean(axis=0)
+        batch_var = batch.var(axis=0)
+        batch_count = batch.shape[0]
+        self.update_from_moments(batch_mean, batch_var, batch_count)
+
+    def update_from_moments(self, batch_mean: np.ndarray, batch_var: np.ndarray, batch_count: float) -> None:
+        delta = batch_mean - self.mean
+        tot_count = self.count + batch_count
+
+        new_mean = self.mean + delta * batch_count / tot_count
+        m_a = self.var * self.count
+        m_b = batch_var * batch_count
+        m2 = m_a + m_b + np.square(delta) * self.count * batch_count / tot_count
+        new_var = m2 / tot_count
+
+        self.mean = new_mean
+        self.var = new_var
+        self.count = tot_count
+
+    @property
+    def std(self) -> np.ndarray:
+        """Running standard deviation."""
+        return np.sqrt(self.var)
+
+
+class TimeLimit(Wrapper):
+    """Truncate episodes after ``max_episode_steps`` steps."""
+
+    def __init__(self, env: Env, max_episode_steps: int) -> None:
+        super().__init__(env)
+        if max_episode_steps <= 0:
+            raise ValueError("max_episode_steps must be > 0")
+        self._max_episode_steps = int(max_episode_steps)
+        self._elapsed_steps = 0
+
+    def reset(self, *, seed: Optional[int] = None, options: Optional[Dict[str, Any]] = None):
+        self._elapsed_steps = 0
+        return self.env.reset(seed=seed, options=options)
+
+    def step(self, action):
+        obs, reward, terminated, truncated, info = self.env.step(action)
+        self._elapsed_steps += 1
+        if self._elapsed_steps >= self._max_episode_steps:
+            truncated = True
+        return obs, reward, terminated, truncated, info
+
+
+class ClipAction(ActionWrapper):
+    """Clip continuous actions into the action space's bounds."""
+
+    def __init__(self, env: Env) -> None:
+        super().__init__(env)
+        if not isinstance(env.action_space, Box):
+            raise TypeError("ClipAction requires a Box action space")
+
+    def action(self, action):
+        space: Box = self.env.action_space  # type: ignore[assignment]
+        return np.clip(action, space.low, space.high)
+
+
+class RescaleAction(ActionWrapper):
+    """Affinely rescale actions from ``[min_action, max_action]`` into the env's bounds."""
+
+    def __init__(self, env: Env, min_action: float = -1.0, max_action: float = 1.0) -> None:
+        super().__init__(env)
+        if not isinstance(env.action_space, Box):
+            raise TypeError("RescaleAction requires a Box action space")
+        self.min_action = float(min_action)
+        self.max_action = float(max_action)
+        space: Box = env.action_space
+        self.action_space = Box(
+            low=self.min_action, high=self.max_action, shape=space.shape, dtype=space.dtype
+        )
+
+    def action(self, action):
+        space: Box = self.env.action_space  # type: ignore[assignment]
+        action = np.asarray(action, dtype=np.float64)
+        frac = (action - self.min_action) / (self.max_action - self.min_action)
+        rescaled = space.low + frac * (space.high - space.low)
+        return np.clip(rescaled, space.low, space.high).astype(space.dtype)
+
+
+class NormalizeObservation(ObservationWrapper):
+    """Normalise observations to approximately zero mean / unit variance."""
+
+    def __init__(self, env: Env, epsilon: float = 1e-8) -> None:
+        super().__init__(env)
+        if not isinstance(env.observation_space, Box):
+            raise TypeError("NormalizeObservation requires a Box observation space")
+        self.obs_rms = RunningMeanStd(shape=env.observation_space.shape)
+        self.epsilon = float(epsilon)
+        #: Whether to keep updating the running statistics.
+        self.update_running_mean = True
+
+    def observation(self, observation):
+        observation = np.asarray(observation, dtype=np.float64)
+        if self.update_running_mean:
+            self.obs_rms.update(observation[None, ...])
+        return (observation - self.obs_rms.mean) / np.sqrt(self.obs_rms.var + self.epsilon)
+
+
+class RecordEpisodeStatistics(Wrapper):
+    """Record per-episode return/length into ``info["episode"]`` on termination."""
+
+    def __init__(self, env: Env, buffer_length: int = 100) -> None:
+        super().__init__(env)
+        self.episode_return = 0.0
+        self.episode_length = 0
+        self.return_queue: deque = deque(maxlen=buffer_length)
+        self.length_queue: deque = deque(maxlen=buffer_length)
+
+    def reset(self, *, seed: Optional[int] = None, options: Optional[Dict[str, Any]] = None):
+        self.episode_return = 0.0
+        self.episode_length = 0
+        return self.env.reset(seed=seed, options=options)
+
+    def step(self, action):
+        obs, reward, terminated, truncated, info = self.env.step(action)
+        self.episode_return += float(reward)
+        self.episode_length += 1
+        if terminated or truncated:
+            info = dict(info)
+            info["episode"] = {"r": self.episode_return, "l": self.episode_length}
+            self.return_queue.append(self.episode_return)
+            self.length_queue.append(self.episode_length)
+        return obs, reward, terminated, truncated, info

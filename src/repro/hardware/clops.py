@@ -1,0 +1,73 @@
+"""CLOPS / quantum-volume execution-time helpers (paper §6.1, Eq. 3).
+
+IBM's CLOPS benchmark measures how many parameterised quantum-volume circuit
+layers a system executes per second.  The paper estimates the execution time
+of a job as::
+
+    tau = (M * K * S * D) / CLOPS                      (Eq. 3)
+
+with ``M`` circuit templates, ``K`` parameter updates, ``S`` shots and
+``D = log2(QV)`` layers.  The worked example in §6.1 (M=100, K=10, S=40,000,
+D=7, CLOPS=220,000) gives roughly 21 minutes.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "DEFAULT_NUM_TEMPLATES",
+    "DEFAULT_NUM_UPDATES",
+    "log2_quantum_volume",
+    "clops_execution_time",
+]
+
+#: Number of circuit templates ``M`` used by the CLOPS benchmark [35].
+DEFAULT_NUM_TEMPLATES = 100
+#: Number of parameter updates ``K`` used by the CLOPS benchmark [35].
+DEFAULT_NUM_UPDATES = 10
+
+
+def log2_quantum_volume(quantum_volume: float) -> float:
+    """Number of quantum-volume layers ``D = log2(QV)``.
+
+    The paper's case study uses devices with a quantum volume of 127, giving
+    ``D ≈ 7`` layers.
+    """
+    if quantum_volume <= 1:
+        raise ValueError(f"quantum volume must be > 1, got {quantum_volume}")
+    return math.log2(quantum_volume)
+
+
+def clops_execution_time(
+    shots: int,
+    clops: float,
+    quantum_volume: float = 127,
+    num_templates: int = DEFAULT_NUM_TEMPLATES,
+    num_updates: int = DEFAULT_NUM_UPDATES,
+) -> float:
+    """Execution time in seconds according to Eq. (3).
+
+    Parameters
+    ----------
+    shots:
+        Number of measurement shots ``S``.
+    clops:
+        Device speed in circuit layer operations per second.
+    quantum_volume:
+        Device quantum volume (``D = log2(QV)``).
+    num_templates, num_updates:
+        CLOPS benchmark constants ``M`` and ``K`` (defaults from [35]).
+
+    Returns
+    -------
+    Estimated execution time in seconds.
+    """
+    if shots <= 0:
+        raise ValueError("shots must be positive")
+    if clops <= 0:
+        raise ValueError("CLOPS must be positive")
+    if num_templates <= 0 or num_updates <= 0:
+        raise ValueError("M and K must be positive")
+    depth = log2_quantum_volume(quantum_volume)
+    return (num_templates * num_updates * shots * depth) / clops

@@ -1,0 +1,175 @@
+"""Qubit connectivity (coupling-map) generators.
+
+The paper models each device's qubit topology as an undirected graph
+``G_i = (V_i, E_i)`` (§4).  Superconducting IBM devices use the *heavy-hex*
+lattice: a hexagonal lattice with an extra qubit on every edge, giving a
+maximum degree of 3.  The scheduler itself treats connectivity as a black box
+(§5.2), but the graphs are still used for capacity accounting, for the
+connected-subgraph checks in the test-suite, and for reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+import networkx as nx
+
+__all__ = [
+    "heavy_hex_graph",
+    "ibm_eagle_coupling",
+    "grid_graph",
+    "line_graph",
+    "ring_graph",
+    "coupling_graph",
+    "largest_connected_subgraph",
+]
+
+
+def _relabel_to_integers(graph: nx.Graph) -> nx.Graph:
+    """Relabel nodes to contiguous integers 0..n-1 (deterministic order).
+
+    Nodes may be heterogeneous (lattice coordinates and edge-subdivision
+    markers), so ordering is by ``repr`` which is stable across runs.
+    """
+    mapping = {node: idx for idx, node in enumerate(sorted(graph.nodes(), key=repr))}
+    return nx.relabel_nodes(graph, mapping, copy=True)
+
+
+def heavy_hex_graph(rows: int = 3, cols: int = 3) -> nx.Graph:
+    """Build a heavy-hex lattice.
+
+    A hexagonal lattice of the given size is generated and every edge is
+    subdivided by an additional vertex, reproducing the heavy-hex structure
+    of IBM's Falcon/Eagle/Heron processors (vertex degree at most 3).
+
+    Parameters
+    ----------
+    rows, cols:
+        Size of the underlying hexagonal lattice.
+
+    Returns
+    -------
+    networkx.Graph with integer node labels ``0..n-1``.
+    """
+    if rows <= 0 or cols <= 0:
+        raise ValueError("rows and cols must be positive")
+    hexagonal = nx.hexagonal_lattice_graph(rows, cols)
+    heavy = nx.Graph()
+    heavy.add_nodes_from(hexagonal.nodes())
+    for u, v in hexagonal.edges():
+        midpoint = ("edge", u, v)
+        heavy.add_node(midpoint)
+        heavy.add_edge(u, midpoint)
+        heavy.add_edge(midpoint, v)
+    return _relabel_to_integers(heavy)
+
+
+def _trim_to_size(graph: nx.Graph, num_qubits: int) -> nx.Graph:
+    """Return a connected subgraph of exactly *num_qubits* nodes (BFS order)."""
+    if graph.number_of_nodes() < num_qubits:
+        raise ValueError(
+            f"graph has only {graph.number_of_nodes()} nodes, cannot trim to {num_qubits}"
+        )
+    start = min(graph.nodes())
+    order = list(nx.bfs_tree(graph, start).nodes())
+    keep = order[:num_qubits]
+    sub = graph.subgraph(keep).copy()
+    if not nx.is_connected(sub):  # pragma: no cover - BFS prefix is always connected
+        raise RuntimeError("trimmed subgraph unexpectedly disconnected")
+    return _relabel_to_integers(sub)
+
+
+def ibm_eagle_coupling(num_qubits: int = 127) -> nx.Graph:
+    """A 127-qubit Eagle-class heavy-hex coupling map.
+
+    The exact IBM layout is not required by the scheduler (connectivity is
+    treated as a black box, §5.2); this function produces a heavy-hex lattice
+    trimmed to exactly *num_qubits* connected nodes with max degree 3.
+    """
+    if num_qubits <= 0:
+        raise ValueError("num_qubits must be positive")
+    rows = cols = 2
+    graph = heavy_hex_graph(rows, cols)
+    while graph.number_of_nodes() < num_qubits:
+        if rows <= cols:
+            rows += 1
+        else:
+            cols += 1
+        graph = heavy_hex_graph(rows, cols)
+    return _trim_to_size(graph, num_qubits)
+
+
+def grid_graph(rows: int, cols: int) -> nx.Graph:
+    """A 2-D grid coupling map (used by some trapped-ion/neutral-atom layouts)."""
+    if rows <= 0 or cols <= 0:
+        raise ValueError("rows and cols must be positive")
+    return _relabel_to_integers(nx.grid_2d_graph(rows, cols))
+
+
+def line_graph(num_qubits: int) -> nx.Graph:
+    """A 1-D chain of qubits."""
+    if num_qubits <= 0:
+        raise ValueError("num_qubits must be positive")
+    return nx.path_graph(num_qubits)
+
+
+def ring_graph(num_qubits: int) -> nx.Graph:
+    """A ring of qubits."""
+    if num_qubits < 3:
+        raise ValueError("a ring needs at least 3 qubits")
+    return nx.cycle_graph(num_qubits)
+
+
+_TOPOLOGY_BUILDERS = {
+    "heavy_hex": lambda n: ibm_eagle_coupling(n),
+    "eagle": lambda n: ibm_eagle_coupling(n),
+    "line": line_graph,
+    "ring": ring_graph,
+    "grid": lambda n: _square_grid(n),
+}
+
+
+def _square_grid(num_qubits: int) -> nx.Graph:
+    """Smallest square-ish grid with at least *num_qubits* nodes, trimmed."""
+    side = 1
+    while side * side < num_qubits:
+        side += 1
+    return _trim_to_size(grid_graph(side, side), num_qubits)
+
+
+def coupling_graph(topology: str, num_qubits: int) -> nx.Graph:
+    """Build a coupling map by name.
+
+    Parameters
+    ----------
+    topology:
+        One of ``"heavy_hex"``, ``"eagle"``, ``"grid"``, ``"line"``, ``"ring"``.
+    num_qubits:
+        Number of qubits in the device.
+    """
+    try:
+        builder = _TOPOLOGY_BUILDERS[topology]
+    except KeyError:
+        raise ValueError(
+            f"Unknown topology {topology!r}; choose from {sorted(_TOPOLOGY_BUILDERS)}"
+        ) from None
+    return builder(num_qubits)
+
+
+def largest_connected_subgraph(graph: nx.Graph, size: int) -> Optional[frozenset]:
+    """Find *some* connected subgraph of exactly *size* nodes (BFS heuristic).
+
+    Returns a frozenset of nodes, or ``None`` if the graph has fewer than
+    *size* nodes in its largest connected component.  This implements the
+    "practical assumption" of §5.2: on highly connected devices, a connected
+    region of any requested size can be found greedily.
+    """
+    if size <= 0:
+        raise ValueError("size must be positive")
+    components = sorted(nx.connected_components(graph), key=len, reverse=True)
+    if not components or len(components[0]) < size:
+        return None
+    component = components[0]
+    start = min(component)
+    order = list(nx.bfs_tree(graph.subgraph(component), start).nodes())
+    return frozenset(order[:size])

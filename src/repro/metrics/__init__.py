@@ -1,0 +1,48 @@
+"""Performance metrics of the paper (§5.4 and §6).
+
+* :mod:`repro.metrics.error_score` — calibration-derived device error score,
+  Eq. (2),
+* :mod:`repro.metrics.timing` — CLOPS/QV execution-time model (Eq. 3) and
+  classical communication overhead (Eq. 9),
+* :mod:`repro.metrics.fidelity` — single-/two-qubit/readout fidelities
+  (Eqs. 4-6), per-device fidelity (Eq. 7) and the inter-device communication
+  penalty (Eq. 8),
+* :mod:`repro.metrics.aggregate` — aggregation of job records into the rows
+  of Table 2 and the histogram series of Fig. 6.
+"""
+
+from repro.metrics.aggregate import StrategySummary, fidelity_histogram, summarize_records
+from repro.metrics.error_score import ErrorScoreWeights, error_score, error_score_from_averages
+from repro.metrics.fidelity import (
+    FidelityBreakdown,
+    communication_penalty,
+    device_fidelity,
+    final_fidelity,
+    readout_fidelity,
+    single_qubit_fidelity,
+    two_qubit_fidelity,
+)
+from repro.metrics.timing import (
+    communication_time,
+    execution_time,
+    processing_time_minutes,
+)
+
+__all__ = [
+    "ErrorScoreWeights",
+    "FidelityBreakdown",
+    "StrategySummary",
+    "communication_penalty",
+    "communication_time",
+    "device_fidelity",
+    "error_score",
+    "error_score_from_averages",
+    "execution_time",
+    "fidelity_histogram",
+    "final_fidelity",
+    "processing_time_minutes",
+    "readout_fidelity",
+    "single_qubit_fidelity",
+    "summarize_records",
+    "two_qubit_fidelity",
+]

@@ -1,0 +1,127 @@
+"""Aggregation of simulation results into the paper's reported metrics.
+
+Table 2 of the paper reports, per allocation strategy:
+
+* total simulation time ``T_sim`` (wall-clock of the simulated schedule, i.e.
+  the makespan until all jobs complete),
+* average fidelity ``mu_F ± sigma_F`` over all jobs,
+* total communication time ``T_comm`` summed over all jobs.
+
+Figure 6 reports per-strategy fidelity histograms.  This module computes both
+from a sequence of completed job records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["StrategySummary", "summarize_records", "fidelity_histogram"]
+
+
+def _get(record: Any, name: str) -> Any:
+    """Fetch a field from either an object attribute or a mapping key."""
+    if isinstance(record, dict):
+        return record[name]
+    return getattr(record, name)
+
+
+@dataclass(frozen=True)
+class StrategySummary:
+    """One row of Table 2."""
+
+    #: Name of the allocation strategy ("speed", "fidelity", "fair", "rlbase", ...).
+    strategy: str
+    #: Number of completed jobs aggregated.
+    num_jobs: int
+    #: Total simulated time until the last job completed (seconds).
+    total_simulation_time: float
+    #: Mean final fidelity over all jobs.
+    mean_fidelity: float
+    #: Standard deviation of the final fidelity.
+    std_fidelity: float
+    #: Total inter-device communication time summed over all jobs (seconds).
+    total_communication_time: float
+    #: Mean number of devices used per job.
+    mean_devices_per_job: float
+    #: Mean per-job turnaround (finish - arrival) in seconds.
+    mean_turnaround_time: float
+    #: Mean per-job waiting time (start - arrival) in seconds.
+    mean_wait_time: float
+
+    def as_row(self) -> Dict[str, float]:
+        """Table-friendly dictionary (column name -> value)."""
+        return {
+            "strategy": self.strategy,
+            "num_jobs": self.num_jobs,
+            "T_sim_s": self.total_simulation_time,
+            "mean_fidelity": self.mean_fidelity,
+            "std_fidelity": self.std_fidelity,
+            "T_comm_s": self.total_communication_time,
+            "mean_devices_per_job": self.mean_devices_per_job,
+            "mean_turnaround_s": self.mean_turnaround_time,
+            "mean_wait_s": self.mean_wait_time,
+        }
+
+    def format_row(self) -> str:
+        """Render the summary like a row of the paper's Table 2."""
+        return (
+            f"{self.strategy:<10s} {self.total_simulation_time:>12.2f} "
+            f"{self.mean_fidelity:.5f} ± {self.std_fidelity:.5f} "
+            f"{self.total_communication_time:>10.2f}"
+        )
+
+
+def summarize_records(records: Sequence[Any], strategy: str = "") -> StrategySummary:
+    """Aggregate completed job records into a :class:`StrategySummary`.
+
+    Each record must expose (attribute or key): ``fidelity``, ``arrival_time``,
+    ``start_time``, ``finish_time``, ``communication_time`` and
+    ``num_devices``.
+    """
+    records = list(records)
+    if not records:
+        raise ValueError("cannot summarize an empty record list")
+
+    fidelities = np.array([float(_get(r, "fidelity")) for r in records])
+    arrivals = np.array([float(_get(r, "arrival_time")) for r in records])
+    starts = np.array([float(_get(r, "start_time")) for r in records])
+    finishes = np.array([float(_get(r, "finish_time")) for r in records])
+    comms = np.array([float(_get(r, "communication_time")) for r in records])
+    devices = np.array([float(_get(r, "num_devices")) for r in records])
+
+    return StrategySummary(
+        strategy=strategy,
+        num_jobs=len(records),
+        total_simulation_time=float(finishes.max()),
+        mean_fidelity=float(fidelities.mean()),
+        std_fidelity=float(fidelities.std()),
+        total_communication_time=float(comms.sum()),
+        mean_devices_per_job=float(devices.mean()),
+        mean_turnaround_time=float((finishes - arrivals).mean()),
+        mean_wait_time=float((starts - arrivals).mean()),
+    )
+
+
+def fidelity_histogram(
+    records: Sequence[Any],
+    bins: int = 30,
+    value_range: Optional[Tuple[float, float]] = None,
+) -> Dict[str, np.ndarray]:
+    """Histogram of final job fidelities (the series plotted in Fig. 6).
+
+    Returns
+    -------
+    dict with keys ``counts`` (len = bins), ``edges`` (len = bins + 1) and
+    ``centers`` (len = bins).
+    """
+    if bins <= 0:
+        raise ValueError("bins must be positive")
+    fidelities = np.array([float(_get(r, "fidelity")) for r in records])
+    if fidelities.size == 0:
+        raise ValueError("cannot histogram an empty record list")
+    counts, edges = np.histogram(fidelities, bins=bins, range=value_range)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    return {"counts": counts, "edges": edges, "centers": centers}

@@ -1,0 +1,91 @@
+"""Device error score (paper §5.4, Eq. 2).
+
+The error score quantifies overall device quality from calibration data::
+
+    error_score = alpha * mean(readout errors)
+                + theta * epsilon_1Q
+                + gamma * mean(two-qubit gate errors)
+
+with default weights ``alpha=0.5``, ``theta=0.3``, ``gamma=0.2``.  Readout
+errors receive the highest weight because they directly corrupt measurement
+outcomes; single-qubit errors are weighted above two-qubit errors because
+single-qubit gates occur more frequently even though individual two-qubit
+gates are noisier (§5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.calibration import CalibrationData
+
+__all__ = ["ErrorScoreWeights", "DEFAULT_WEIGHTS", "error_score", "error_score_from_averages"]
+
+
+@dataclass(frozen=True)
+class ErrorScoreWeights:
+    """Weights (α, θ, γ) of the error-score formula."""
+
+    alpha: float = 0.5
+    theta: float = 0.3
+    gamma: float = 0.2
+
+    def __post_init__(self) -> None:
+        for name in ("alpha", "theta", "gamma"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be non-negative, got {value}")
+        if self.alpha + self.theta + self.gamma <= 0:
+            raise ValueError("at least one weight must be positive")
+
+    @property
+    def total(self) -> float:
+        """Sum of the weights (1.0 for the paper's defaults)."""
+        return self.alpha + self.theta + self.gamma
+
+
+#: The paper's default weighting (α=0.5, θ=0.3, γ=0.2).
+DEFAULT_WEIGHTS = ErrorScoreWeights()
+
+
+def error_score_from_averages(
+    avg_readout_error: float,
+    avg_single_qubit_error: float,
+    avg_two_qubit_error: float,
+    alpha: float = DEFAULT_WEIGHTS.alpha,
+    theta: float = DEFAULT_WEIGHTS.theta,
+    gamma: float = DEFAULT_WEIGHTS.gamma,
+) -> float:
+    """Evaluate Eq. (2) from pre-averaged error rates."""
+    for name, value in (
+        ("avg_readout_error", avg_readout_error),
+        ("avg_single_qubit_error", avg_single_qubit_error),
+        ("avg_two_qubit_error", avg_two_qubit_error),
+    ):
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be a probability, got {value}")
+    weights = ErrorScoreWeights(alpha, theta, gamma)
+    return (
+        weights.alpha * avg_readout_error
+        + weights.theta * avg_single_qubit_error
+        + weights.gamma * avg_two_qubit_error
+    )
+
+
+def error_score(
+    calibration: "CalibrationData",
+    alpha: float = DEFAULT_WEIGHTS.alpha,
+    theta: float = DEFAULT_WEIGHTS.theta,
+    gamma: float = DEFAULT_WEIGHTS.gamma,
+) -> float:
+    """Evaluate Eq. (2) from a :class:`~repro.hardware.calibration.CalibrationData`."""
+    return error_score_from_averages(
+        calibration.average_readout_error(),
+        calibration.average_single_qubit_error(),
+        calibration.average_two_qubit_error(),
+        alpha=alpha,
+        theta=theta,
+        gamma=gamma,
+    )

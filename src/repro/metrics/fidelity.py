@@ -1,0 +1,154 @@
+"""Fidelity model (paper §6.2-§6.4, Eqs. 4-8).
+
+All fidelities in the paper are *analytic estimates* derived from reported
+calibration error rates — no state-vector simulation is involved (§7.2).
+
+* Single-qubit fidelity (Eq. 4):    ``F_1Q = (1 - eps_1Q) ** d``
+* Two-qubit fidelity (Eq. 5):       ``F_2Q = (1 - eps_2Q) ** sqrt(N_2Q)``
+* Readout fidelity (Eq. 6):         ``F_ro = (1 - eps_ro) ** sqrt(N_qubits / N_devices)``
+* Device fidelity (Eq. 7):          ``F_dev = F_1Q * F_2Q * F_ro``
+* Final fidelity (Eq. 8):           ``F_final = mean(F_dev) * phi ** (N_devices - 1)``
+
+with the communication penalty factor ``phi = 0.95`` per inter-device link.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = [
+    "DEFAULT_COMMUNICATION_PENALTY",
+    "FidelityBreakdown",
+    "single_qubit_fidelity",
+    "two_qubit_fidelity",
+    "readout_fidelity",
+    "device_fidelity",
+    "communication_penalty",
+    "final_fidelity",
+]
+
+#: Empirical per-link fidelity degradation factor φ (paper §6.4).
+DEFAULT_COMMUNICATION_PENALTY = 0.95
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value}")
+
+
+def single_qubit_fidelity(avg_single_qubit_error: float, depth: int) -> float:
+    """Single-qubit fidelity ``F_1Q = (1 - ε_1Q)^d`` (Eq. 4).
+
+    Parameters
+    ----------
+    avg_single_qubit_error:
+        Average single-qubit gate error rate of the device.
+    depth:
+        Circuit depth ``d`` — the number of layers over which single-qubit
+        errors compound.
+    """
+    _check_probability("avg_single_qubit_error", avg_single_qubit_error)
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    return (1.0 - avg_single_qubit_error) ** depth
+
+
+def two_qubit_fidelity(avg_two_qubit_error: float, num_two_qubit_gates: float) -> float:
+    """Two-qubit fidelity ``F_2Q = (1 - ε_2Q)^sqrt(N_2Q)`` (Eq. 5).
+
+    The square-root exponent moderates the naive independent-error product,
+    reflecting that not every two-qubit gate contributes a full independent
+    error to the measured observable.
+    """
+    _check_probability("avg_two_qubit_error", avg_two_qubit_error)
+    if num_two_qubit_gates < 0:
+        raise ValueError("num_two_qubit_gates must be non-negative")
+    return (1.0 - avg_two_qubit_error) ** math.sqrt(num_two_qubit_gates)
+
+
+def readout_fidelity(avg_readout_error: float, num_qubits: int, num_devices: int = 1) -> float:
+    """Readout fidelity ``F_ro = (1 - ε_ro)^sqrt(N_qubits / N_devices)`` (Eq. 6).
+
+    Splitting a circuit over more devices reduces the number of qubits
+    measured per device, which this exponent captures.
+    """
+    _check_probability("avg_readout_error", avg_readout_error)
+    if num_qubits < 0:
+        raise ValueError("num_qubits must be non-negative")
+    if num_devices <= 0:
+        raise ValueError("num_devices must be positive")
+    return (1.0 - avg_readout_error) ** math.sqrt(num_qubits / num_devices)
+
+
+def device_fidelity(
+    avg_single_qubit_error: float,
+    avg_two_qubit_error: float,
+    avg_readout_error: float,
+    depth: int,
+    num_two_qubit_gates: float,
+    num_qubits: int,
+    num_devices: int = 1,
+) -> float:
+    """Per-device fidelity ``F_dev = F_1Q * F_2Q * F_ro`` (Eq. 7)."""
+    return (
+        single_qubit_fidelity(avg_single_qubit_error, depth)
+        * two_qubit_fidelity(avg_two_qubit_error, num_two_qubit_gates)
+        * readout_fidelity(avg_readout_error, num_qubits, num_devices)
+    )
+
+
+def communication_penalty(
+    num_devices: int, phi: float = DEFAULT_COMMUNICATION_PENALTY
+) -> float:
+    """Inter-device communication penalty ``phi^(N_devices - 1)`` (Eq. 8)."""
+    if num_devices <= 0:
+        raise ValueError("num_devices must be positive")
+    _check_probability("phi", phi)
+    return phi ** (num_devices - 1)
+
+
+def final_fidelity(
+    device_fidelities: Sequence[float],
+    phi: float = DEFAULT_COMMUNICATION_PENALTY,
+) -> float:
+    """Final job fidelity: average device fidelity times the comm penalty (Eq. 8)."""
+    fidelities = list(device_fidelities)
+    if not fidelities:
+        raise ValueError("at least one device fidelity is required")
+    for f in fidelities:
+        _check_probability("device fidelity", f)
+    mean_fid = sum(fidelities) / len(fidelities)
+    return mean_fid * communication_penalty(len(fidelities), phi)
+
+
+@dataclass(frozen=True)
+class FidelityBreakdown:
+    """Full decomposition of a sub-job's fidelity on one device.
+
+    Produced by the execution layer so that post-simulation analysis can
+    attribute fidelity loss to its sources.
+    """
+
+    device_name: str
+    qubits_allocated: int
+    single_qubit: float
+    two_qubit: float
+    readout: float
+
+    @property
+    def device(self) -> float:
+        """Combined per-device fidelity (Eq. 7)."""
+        return self.single_qubit * self.two_qubit * self.readout
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (JSON-safe)."""
+        return {
+            "device_name": self.device_name,
+            "qubits_allocated": self.qubits_allocated,
+            "single_qubit": self.single_qubit,
+            "two_qubit": self.two_qubit,
+            "readout": self.readout,
+            "device": self.device,
+        }

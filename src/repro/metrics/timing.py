@@ -1,0 +1,86 @@
+"""Execution-time and communication-overhead models (paper §6.1 and §6.5).
+
+* Execution time (Eq. 3): ``tau = M * K * S * D / CLOPS`` with ``D = log2(QV)``.
+* The problem definition (§4) expresses the same quantity divided by 60,
+  i.e. in minutes (:func:`processing_time_minutes`, matching the authors'
+  ``calculate_process_time``).
+* Classical communication overhead (Eq. 9): ``tau_comm = N_qubits * lambda``
+  with a default per-qubit latency ``lambda = 0.02 s``; communication is a
+  blocking operation that delays job completion.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.clops import DEFAULT_NUM_TEMPLATES, DEFAULT_NUM_UPDATES, clops_execution_time
+
+__all__ = [
+    "DEFAULT_COMM_LATENCY_PER_QUBIT",
+    "execution_time",
+    "processing_time_minutes",
+    "communication_time",
+]
+
+#: Per-qubit classical communication latency λ in seconds (paper §6.5).
+DEFAULT_COMM_LATENCY_PER_QUBIT = 0.02
+
+
+def execution_time(
+    shots: int,
+    clops: float,
+    quantum_volume: float = 127,
+    num_templates: int = DEFAULT_NUM_TEMPLATES,
+    num_updates: int = DEFAULT_NUM_UPDATES,
+) -> float:
+    """Execution time in **seconds** (Eq. 3). See :func:`~repro.hardware.clops.clops_execution_time`."""
+    return clops_execution_time(
+        shots=shots,
+        clops=clops,
+        quantum_volume=quantum_volume,
+        num_templates=num_templates,
+        num_updates=num_updates,
+    )
+
+
+def processing_time_minutes(
+    shots: int,
+    clops: float,
+    quantum_volume: float = 127,
+    num_templates: int = DEFAULT_NUM_TEMPLATES,
+    num_updates: int = DEFAULT_NUM_UPDATES,
+) -> float:
+    """Processing time in **minutes**, i.e. Eq. (3) divided by 60.
+
+    This matches the ``T_i`` expression of the problem definition (§4), which
+    divides by 60 to convert the CLOPS-model seconds into minutes.
+    """
+    return (
+        execution_time(
+            shots=shots,
+            clops=clops,
+            quantum_volume=quantum_volume,
+            num_templates=num_templates,
+            num_updates=num_updates,
+        )
+        / 60.0
+    )
+
+
+def communication_time(
+    num_qubits_communicated: int,
+    latency_per_qubit: float = DEFAULT_COMM_LATENCY_PER_QUBIT,
+) -> float:
+    """Classical communication delay ``tau_comm = N_qubits * lambda`` (Eq. 9).
+
+    Parameters
+    ----------
+    num_qubits_communicated:
+        Number of qubits whose measurement outcomes / classical control
+        parameters must be exchanged between devices.
+    latency_per_qubit:
+        Per-qubit latency λ in seconds (0.02 s by default, §6.5).
+    """
+    if num_qubits_communicated < 0:
+        raise ValueError("num_qubits_communicated must be non-negative")
+    if latency_per_qubit < 0:
+        raise ValueError("latency_per_qubit must be non-negative")
+    return num_qubits_communicated * latency_per_qubit

@@ -1,0 +1,144 @@
+"""Rollout storage with Generalised Advantage Estimation (GAE)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+__all__ = ["RolloutBuffer"]
+
+
+class RolloutBuffer:
+    """Fixed-size buffer holding one on-policy rollout.
+
+    The buffer stores transitions collected by the PPO data-collection loop
+    and computes advantage estimates with GAE(λ) once the rollout is
+    complete.  Mini-batches are then served in random order for the gradient
+    updates.
+
+    Parameters
+    ----------
+    buffer_size:
+        Number of environment steps per rollout (PPO's ``n_steps``).
+    obs_dim, action_dim:
+        Dimensionality of observations and (continuous) actions.  For
+        discrete actions, ``action_dim`` should be 1.
+    gamma, gae_lambda:
+        Discount factor and GAE smoothing factor.
+    """
+
+    def __init__(
+        self,
+        buffer_size: int,
+        obs_dim: int,
+        action_dim: int,
+        gamma: float = 0.99,
+        gae_lambda: float = 0.95,
+    ) -> None:
+        if buffer_size <= 0:
+            raise ValueError("buffer_size must be > 0")
+        if not 0.0 <= gamma <= 1.0:
+            raise ValueError("gamma must be in [0, 1]")
+        if not 0.0 <= gae_lambda <= 1.0:
+            raise ValueError("gae_lambda must be in [0, 1]")
+        self.buffer_size = int(buffer_size)
+        self.obs_dim = int(obs_dim)
+        self.action_dim = int(action_dim)
+        self.gamma = float(gamma)
+        self.gae_lambda = float(gae_lambda)
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear the buffer and reallocate storage."""
+        n, d_obs, d_act = self.buffer_size, self.obs_dim, self.action_dim
+        self.observations = np.zeros((n, d_obs), dtype=np.float64)
+        self.actions = np.zeros((n, d_act), dtype=np.float64)
+        self.rewards = np.zeros(n, dtype=np.float64)
+        self.episode_starts = np.zeros(n, dtype=np.float64)
+        self.values = np.zeros(n, dtype=np.float64)
+        self.log_probs = np.zeros(n, dtype=np.float64)
+        self.advantages = np.zeros(n, dtype=np.float64)
+        self.returns = np.zeros(n, dtype=np.float64)
+        self.pos = 0
+        self.full = False
+
+    def add(
+        self,
+        obs: np.ndarray,
+        action: np.ndarray,
+        reward: float,
+        episode_start: bool,
+        value: float,
+        log_prob: float,
+    ) -> None:
+        """Append a single transition."""
+        if self.full:
+            raise RuntimeError("RolloutBuffer is full; call reset() before adding more data")
+        self.observations[self.pos] = np.asarray(obs, dtype=np.float64).reshape(-1)
+        self.actions[self.pos] = np.asarray(action, dtype=np.float64).reshape(-1)
+        self.rewards[self.pos] = float(reward)
+        self.episode_starts[self.pos] = float(episode_start)
+        self.values[self.pos] = float(value)
+        self.log_probs[self.pos] = float(log_prob)
+        self.pos += 1
+        if self.pos == self.buffer_size:
+            self.full = True
+
+    def compute_returns_and_advantage(self, last_value: float, done: bool) -> None:
+        """Compute GAE(λ) advantages and discounted returns.
+
+        Parameters
+        ----------
+        last_value:
+            Value estimate of the state following the final transition.
+        done:
+            Whether the final transition terminated the episode.
+        """
+        if not self.full:
+            raise RuntimeError("Rollout is not complete")
+        last_gae = 0.0
+        for step in reversed(range(self.buffer_size)):
+            if step == self.buffer_size - 1:
+                next_non_terminal = 1.0 - float(done)
+                next_value = float(last_value)
+            else:
+                next_non_terminal = 1.0 - self.episode_starts[step + 1]
+                next_value = self.values[step + 1]
+            delta = self.rewards[step] + self.gamma * next_value * next_non_terminal - self.values[step]
+            last_gae = delta + self.gamma * self.gae_lambda * next_non_terminal * last_gae
+            self.advantages[step] = last_gae
+        self.returns = self.advantages + self.values
+
+    def get(
+        self, batch_size: Optional[int] = None, rng: Optional[np.random.Generator] = None
+    ) -> Iterator[Dict[str, np.ndarray]]:
+        """Yield shuffled mini-batches covering the whole buffer once."""
+        if not self.full:
+            raise RuntimeError("Rollout is not complete")
+        rng = rng if rng is not None else np.random.default_rng()
+        indices = rng.permutation(self.buffer_size)
+        if batch_size is None or batch_size >= self.buffer_size:
+            batch_size = self.buffer_size
+        start = 0
+        while start < self.buffer_size:
+            idx = indices[start : start + batch_size]
+            yield {
+                "observations": self.observations[idx],
+                "actions": self.actions[idx],
+                "old_values": self.values[idx],
+                "old_log_probs": self.log_probs[idx],
+                "advantages": self.advantages[idx],
+                "returns": self.returns[idx],
+            }
+            start += batch_size
+
+    def __len__(self) -> int:
+        return self.pos
+
+    def explained_variance(self) -> float:
+        """Fraction of return variance explained by the value predictions."""
+        var_returns = float(np.var(self.returns))
+        if var_returns == 0.0:
+            return float("nan")
+        return 1.0 - float(np.var(self.returns - self.values)) / var_returns

@@ -1,0 +1,266 @@
+"""Layers with explicit forward/backward passes.
+
+The networks needed for the paper's PPO policy are small MLPs (two hidden
+layers of 64 tanh units).  Rather than pulling in a deep-learning framework,
+each layer implements
+
+* ``forward(x)`` — computes the output and caches whatever the backward pass
+  needs,
+* ``backward(grad_output)`` — accumulates parameter gradients and returns the
+  gradient with respect to the layer input.
+
+Gradient correctness is verified against finite differences in the test
+suite (``tests/rl/test_layers.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.rl.nn.init import orthogonal_
+
+__all__ = ["Parameter", "Module", "Linear", "Tanh", "ReLU", "Identity", "Sequential", "MLP"]
+
+
+class Parameter:
+    """A trainable array with an associated gradient accumulator."""
+
+    __slots__ = ("name", "data", "grad")
+
+    def __init__(self, data: np.ndarray, name: str = "param") -> None:
+        self.name = name
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+
+    @property
+    def shape(self) -> tuple:
+        """Shape of the parameter array."""
+        return self.data.shape
+
+    def zero_grad(self) -> None:
+        """Reset the gradient accumulator to zero."""
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Parameter({self.name}, shape={self.data.shape})"
+
+
+class Module:
+    """Base class for all layers and networks."""
+
+    def parameters(self) -> List[Parameter]:
+        """Return all trainable parameters (recursively)."""
+        params: List[Parameter] = []
+        for value in vars(self).values():
+            if isinstance(value, Parameter):
+                params.append(value)
+            elif isinstance(value, Module):
+                params.extend(value.parameters())
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        params.extend(item.parameters())
+                    elif isinstance(item, Parameter):
+                        params.append(item)
+        return params
+
+    def zero_grad(self) -> None:
+        """Reset all parameter gradients."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # -- (de)serialisation -------------------------------------------------
+    def state_dict(self, prefix: str = "") -> Dict[str, np.ndarray]:
+        """Return a flat name → array mapping of all parameters."""
+        state: Dict[str, np.ndarray] = {}
+        for i, param in enumerate(self.parameters()):
+            state[f"{prefix}{i}:{param.name}"] = param.data.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], prefix: str = "") -> None:
+        """Load parameters previously produced by :meth:`state_dict`."""
+        params = self.parameters()
+        if len(state) != len(params):
+            raise ValueError(
+                f"state dict has {len(state)} entries but module has {len(params)} parameters"
+            )
+        for i, param in enumerate(params):
+            key = f"{prefix}{i}:{param.name}"
+            if key not in state:
+                raise KeyError(f"missing parameter {key!r} in state dict")
+            value = np.asarray(state[key], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {key!r}: expected {param.data.shape}, got {value.shape}"
+                )
+            param.data = value.copy()
+            param.grad = np.zeros_like(param.data)
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return int(sum(p.data.size for p in self.parameters()))
+
+
+class Linear(Module):
+    """Affine transform ``y = x W^T + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input/output dimensionality.
+    gain:
+        Orthogonal-initialisation gain for the weight matrix.
+    rng:
+        Random generator for initialisation (defaults to a fresh generator).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        gain: float = np.sqrt(2.0),
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.weight = Parameter(orthogonal_((out_features, in_features), gain=gain, rng=rng), "weight")
+        self.bias = Parameter(np.zeros(out_features), "bias")
+        self._input: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        self._input = x
+        return x @ self.weight.data.T + self.bias.data
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called before forward")
+        grad_output = np.atleast_2d(np.asarray(grad_output, dtype=np.float64))
+        self.weight.grad += grad_output.T @ self._input
+        self.bias.grad += grad_output.sum(axis=0)
+        return grad_output @ self.weight.data
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Linear({self.in_features}, {self.out_features})"
+
+
+class Tanh(Module):
+    """Elementwise hyperbolic tangent."""
+
+    def __init__(self) -> None:
+        self._output: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._output = np.tanh(np.asarray(x, dtype=np.float64))
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * (1.0 - self._output**2)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "Tanh()"
+
+
+class ReLU(Module):
+    """Elementwise rectified linear unit."""
+
+    def __init__(self) -> None:
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * self._mask
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "ReLU()"
+
+
+class Identity(Module):
+    """Pass-through layer."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x, dtype=np.float64)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "Identity()"
+
+
+class Sequential(Module):
+    """Chain of layers applied in order."""
+
+    def __init__(self, *layers: Module) -> None:
+        self.layers: List[Module] = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(repr(layer) for layer in self.layers)
+        return f"Sequential({inner})"
+
+
+def MLP(
+    in_dim: int,
+    hidden_sizes: Sequence[int],
+    out_dim: int,
+    activation: str = "tanh",
+    out_gain: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+) -> Sequential:
+    """Build a multi-layer perceptron.
+
+    Hidden layers use orthogonal initialisation with gain ``sqrt(2)``; the
+    output layer uses ``out_gain`` (``0.01`` for policy heads, ``1.0`` for
+    value heads, following standard PPO practice).
+    """
+    acts = {"tanh": Tanh, "relu": ReLU, "identity": Identity}
+    if activation not in acts:
+        raise ValueError(f"Unknown activation {activation!r}; choose from {sorted(acts)}")
+    act_cls = acts[activation]
+
+    layers: List[Module] = []
+    prev = in_dim
+    for size in hidden_sizes:
+        layers.append(Linear(prev, size, gain=np.sqrt(2.0), rng=rng))
+        layers.append(act_cls())
+        prev = size
+    layers.append(Linear(prev, out_dim, gain=out_gain, rng=rng))
+    return Sequential(*layers)

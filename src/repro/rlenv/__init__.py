@@ -1,0 +1,16 @@
+"""The RL training environment and training driver (paper §4.1 and §6.6).
+
+* :class:`~repro.rlenv.qcloud_env.QCloudGymEnv` — the single-step Gymnasium
+  MDP: the state is the §4.1 16-dimensional vector (normalised job demand
+  plus per-device free level / error score / CLOPS), the action is a 5-dim
+  continuous allocation-weight vector, the reward is the mean device fidelity
+  of the resulting allocation.
+* :mod:`~repro.rlenv.train` — PPO training of the allocation agent with the
+  paper's setup (100,000 timesteps, MLP policy, default hyperparameters) and
+  collection of the Fig. 5 training curve.
+"""
+
+from repro.rlenv.qcloud_env import QCloudGymEnv
+from repro.rlenv.train import evaluate_policy, train_allocation_policy
+
+__all__ = ["QCloudGymEnv", "evaluate_policy", "train_allocation_policy"]

@@ -1,0 +1,209 @@
+"""QCloudGymEnv — the allocation MDP of the paper (§4.1).
+
+Each episode is a *single* allocation decision:
+
+* **State** (dimension ``1 + 3k`` = 16 for ``k = 5`` devices): the job's
+  normalised qubit demand, then for each device its normalised free-qubit
+  level, its error score and its normalised CLOPS.
+* **Action**: a continuous vector of ``k`` unnormalised allocation weights.
+  The environment normalises them, scales by the demand, rounds and adjusts
+  so the parts sum to the demand and respect per-device free capacity
+  (:func:`repro.circuits.partition.allocation_from_weights`).
+* **Reward**: the mean per-device fidelity ``(1/k') Σ F_i`` over the ``k'``
+  devices actually used, where each ``F_i`` combines gate, readout and
+  (optionally) two-qubit errors (Eqs. 4-7).  Optionally the inter-device
+  communication penalty (Eq. 8) can be folded into the reward
+  (``communication_aware=True``), which the paper lists as future work.
+
+The episode terminates after the single step.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.partition import allocation_from_weights
+from repro.gymapi.core import Env
+from repro.gymapi.spaces import Box
+from repro.hardware.backends import DeviceProfile, build_default_fleet
+from repro.metrics.error_score import error_score
+from repro.metrics.fidelity import (
+    communication_penalty,
+    readout_fidelity,
+    single_qubit_fidelity,
+    two_qubit_fidelity,
+)
+from repro.scheduling.rl_policy import (
+    DEFAULT_MAX_DEVICES,
+    DEFAULT_MAX_QUBITS,
+    build_observation,
+)
+
+__all__ = ["QCloudGymEnv"]
+
+
+class QCloudGymEnv(Env):
+    """Single-step allocation environment over a fleet of device profiles.
+
+    Parameters
+    ----------
+    devices:
+        Device profiles (defaults to the paper's five-device fleet).
+    qubit_range, depth_range:
+        Ranges for the randomised training jobs.
+    two_qubit_density:
+        Two-qubit gate density of the training jobs (matches the synthetic
+        workload generator).
+    randomize_utilization:
+        If ``True`` (default) device free levels are randomised on every
+        reset so the agent sees partially busy fleets; if ``False`` all
+        devices start fully free.
+    include_two_qubit_errors:
+        The paper notes two-qubit error can be "optionally suppressed" in the
+        reward; keep it on by default.
+    communication_aware:
+        Fold the φ^(k-1) communication penalty into the reward (future-work
+        reward shaping; off by default to match the paper).
+    max_qubits:
+        Normalisation constant for the job-demand feature.
+    """
+
+    metadata = {"render_modes": []}
+
+    def __init__(
+        self,
+        devices: Optional[Sequence[DeviceProfile]] = None,
+        qubit_range: Tuple[int, int] = (130, 250),
+        depth_range: Tuple[int, int] = (5, 20),
+        two_qubit_density: float = 0.30,
+        randomize_utilization: bool = True,
+        include_two_qubit_errors: bool = True,
+        communication_aware: bool = False,
+        max_qubits: int = DEFAULT_MAX_QUBITS,
+        max_devices: int = DEFAULT_MAX_DEVICES,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.devices: List[DeviceProfile] = (
+            list(devices) if devices is not None else build_default_fleet()
+        )
+        if len(self.devices) > max_devices:
+            raise ValueError(
+                f"{len(self.devices)} devices exceed the observation's {max_devices} slots"
+            )
+        if qubit_range[0] > qubit_range[1] or qubit_range[0] <= 0:
+            raise ValueError(f"invalid qubit_range {qubit_range}")
+        total_capacity = sum(d.num_qubits for d in self.devices)
+        if qubit_range[1] > total_capacity:
+            raise ValueError(
+                f"qubit_range upper bound {qubit_range[1]} exceeds fleet capacity {total_capacity}"
+            )
+
+        self.qubit_range = qubit_range
+        self.depth_range = depth_range
+        self.two_qubit_density = float(two_qubit_density)
+        self.randomize_utilization = bool(randomize_utilization)
+        self.include_two_qubit_errors = bool(include_two_qubit_errors)
+        self.communication_aware = bool(communication_aware)
+        self.max_qubits = int(max_qubits)
+        self.max_devices = int(max_devices)
+
+        self._error_scores = [error_score(d.calibration) for d in self.devices]
+
+        obs_dim = 1 + 3 * self.max_devices
+        self.observation_space = Box(low=0.0, high=np.inf, shape=(obs_dim,), dtype=np.float64)
+        self.action_space = Box(low=0.0, high=1.0, shape=(self.max_devices,), dtype=np.float64)
+
+        self._job_qubits: int = 0
+        self._job_depth: int = 0
+        self._job_two_qubit_gates: int = 0
+        self._free_levels: np.ndarray = np.array([d.num_qubits for d in self.devices])
+
+        if seed is not None:
+            self.reset(seed=seed)
+
+    # -- episode mechanics -----------------------------------------------------
+    def _sample_job(self) -> None:
+        rng = self.np_random
+        self._job_qubits = int(rng.integers(self.qubit_range[0], self.qubit_range[1] + 1))
+        self._job_depth = int(rng.integers(self.depth_range[0], self.depth_range[1] + 1))
+        slots = self._job_qubits * self._job_depth
+        self._job_two_qubit_gates = int(round(slots * self.two_qubit_density))
+
+        capacities = np.array([d.num_qubits for d in self.devices], dtype=np.int64)
+        if self.randomize_utilization:
+            # Draw free levels until the job can fit in the remaining capacity.
+            for _ in range(100):
+                fractions = rng.uniform(0.4, 1.0, size=len(self.devices))
+                free = np.floor(capacities * fractions).astype(np.int64)
+                if free.sum() >= self._job_qubits:
+                    self._free_levels = free
+                    return
+        self._free_levels = capacities.copy()
+
+    def _observation(self) -> np.ndarray:
+        states = [
+            (float(self._free_levels[i]), self._error_scores[i], float(d.clops))
+            for i, d in enumerate(self.devices)
+        ]
+        return build_observation(
+            self._job_qubits, states, max_devices=self.max_devices, max_qubits=self.max_qubits
+        )
+
+    def reset(
+        self, *, seed: Optional[int] = None, options: Optional[Dict[str, Any]] = None
+    ) -> Tuple[np.ndarray, Dict[str, Any]]:
+        super().reset(seed=seed)
+        self._sample_job()
+        info = {
+            "job_qubits": self._job_qubits,
+            "job_depth": self._job_depth,
+            "free_levels": self._free_levels.copy(),
+        }
+        return self._observation(), info
+
+    def _device_fidelity(self, device_index: int, qubits: int, num_devices: int) -> float:
+        """Per-device fidelity F_i for a fragment of *qubits* qubits (Eqs. 4-7)."""
+        profile = self.devices[device_index]
+        fraction = qubits / self._job_qubits
+        fragment_t2 = self._job_two_qubit_gates * fraction
+        f_1q = single_qubit_fidelity(profile.avg_single_qubit_error, self._job_depth)
+        f_ro = readout_fidelity(profile.avg_readout_error, self._job_qubits, num_devices)
+        if self.include_two_qubit_errors:
+            f_2q = two_qubit_fidelity(profile.avg_two_qubit_error, fragment_t2)
+        else:
+            f_2q = 1.0
+        return f_1q * f_2q * f_ro
+
+    def step(
+        self, action: np.ndarray
+    ) -> Tuple[np.ndarray, float, bool, bool, Dict[str, Any]]:
+        if self._job_qubits <= 0:
+            raise RuntimeError("step() called before reset()")
+        weights = np.asarray(action, dtype=np.float64).reshape(-1)[: len(self.devices)]
+        allocation = allocation_from_weights(
+            weights, self._job_qubits, self._free_levels[: len(self.devices)].tolist()
+        )
+        used = [(i, a) for i, a in enumerate(allocation) if a > 0]
+        num_devices = len(used)
+
+        fidelities = [self._device_fidelity(i, a, num_devices) for i, a in used]
+        reward = float(np.mean(fidelities))
+        if self.communication_aware:
+            reward *= communication_penalty(num_devices)
+
+        info = {
+            "allocation": allocation,
+            "num_devices": num_devices,
+            "device_fidelities": fidelities,
+            "job_qubits": self._job_qubits,
+        }
+        observation = self._observation()
+        return observation, reward, True, False, info
+
+    def render(self) -> str:  # pragma: no cover - diagnostic helper
+        return (
+            f"QCloudGymEnv(job={self._job_qubits}q depth={self._job_depth} "
+            f"free={self._free_levels.tolist()})"
+        )

@@ -1,0 +1,46 @@
+"""Allocation strategies (paper §5).
+
+All strategies share the unified allocation workflow of Algorithm 1; they
+differ only in the *device selection policy*.  The four policies evaluated in
+the paper are:
+
+* :class:`~repro.scheduling.speed.SpeedPolicy` — fastest (highest-CLOPS)
+  devices first,
+* :class:`~repro.scheduling.error_aware.ErrorAwarePolicy` — lowest error
+  score first (fidelity-optimised),
+* :class:`~repro.scheduling.fair.FairPolicy` — least-utilised devices first,
+* :class:`~repro.scheduling.rl_policy.RLAllocationPolicy` — allocation
+  fractions produced by a trained PPO agent.
+
+Additional baselines (:mod:`repro.scheduling.baselines`) are provided for
+ablations: random device order, round-robin, and an even-split variant.
+Custom policies subclass :class:`~repro.scheduling.base.AllocationPolicy` and
+can be registered by name through :mod:`repro.scheduling.registry`.
+"""
+
+from repro.scheduling.base import AllocationPlan, AllocationPolicy, DeviceAllocation
+from repro.scheduling.baselines import EvenSplitPolicy, RandomPolicy, RoundRobinPolicy
+from repro.scheduling.error_aware import ErrorAwarePolicy
+from repro.scheduling.fair import FairPolicy
+from repro.scheduling.registry import available_policies, create_policy, register_policy
+from repro.scheduling.rl_policy import RLAllocationPolicy
+from repro.scheduling.speed import SpeedPolicy
+from repro.scheduling.tradeoff import BalancedTradeoffPolicy, MinFragmentationPolicy
+
+__all__ = [
+    "AllocationPlan",
+    "AllocationPolicy",
+    "BalancedTradeoffPolicy",
+    "DeviceAllocation",
+    "ErrorAwarePolicy",
+    "EvenSplitPolicy",
+    "FairPolicy",
+    "MinFragmentationPolicy",
+    "RLAllocationPolicy",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "SpeedPolicy",
+    "available_policies",
+    "create_policy",
+    "register_policy",
+]

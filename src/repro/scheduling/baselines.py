@@ -1,0 +1,74 @@
+"""Additional baseline policies used for ablations and examples.
+
+These are not part of the paper's four evaluated strategies but exercise the
+same policy interface and are useful as sanity baselines:
+
+* :class:`RandomPolicy` — shuffle the device order uniformly at random,
+* :class:`RoundRobinPolicy` — rotate the starting device between jobs,
+* :class:`EvenSplitPolicy` — split the job as evenly as possible over every
+  device that currently has free capacity (the maximally fragmented
+  counterpart of the greedy-fill strategies).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.partition import partition_even
+from repro.scheduling.base import AllocationPlan, AllocationPolicy
+
+__all__ = ["RandomPolicy", "RoundRobinPolicy", "EvenSplitPolicy"]
+
+
+class RandomPolicy(AllocationPolicy):
+    """Greedy-fill devices in a uniformly random order."""
+
+    name = "random"
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self.rng = np.random.default_rng(seed)
+
+    def plan(self, job: Any, devices: Sequence[Any]) -> Optional[AllocationPlan]:
+        ordered = list(devices)
+        self.rng.shuffle(ordered)
+        return self._greedy_fill(job, ordered)
+
+
+class RoundRobinPolicy(AllocationPolicy):
+    """Greedy-fill devices starting from a rotating offset."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._offset = 0
+
+    def plan(self, job: Any, devices: Sequence[Any]) -> Optional[AllocationPlan]:
+        devices = list(devices)
+        if not devices:
+            return None
+        start = self._offset % len(devices)
+        ordered = devices[start:] + devices[:start]
+        plan = self._greedy_fill(job, ordered)
+        if plan is not None:
+            self._offset += 1
+        return plan
+
+
+class EvenSplitPolicy(AllocationPolicy):
+    """Split the job evenly across every device with free capacity.
+
+    This maximises parallel fan-out (and therefore the communication penalty);
+    it is used in the ablation study on partition granularity.
+    """
+
+    name = "even_split"
+
+    def plan(self, job: Any, devices: Sequence[Any]) -> Optional[AllocationPlan]:
+        available = [d for d in devices if d.free_qubits > 0]
+        free = [d.free_qubits for d in available]
+        if sum(free) < job.num_qubits:
+            return None
+        allocation = partition_even(job.num_qubits, free)
+        return AllocationPlan.from_pairs(zip(available, allocation))

@@ -1,0 +1,26 @@
+"""Fair (load-balancing) allocation (paper §5, "Fair Mode").
+
+The policy balances load by preferring the devices with the lowest current
+utilisation, aiming to prevent resource contention and spread work evenly
+across the fleet.  Hardware heterogeneity (CLOPS, error scores) is ignored,
+which is why Table 2 reports a runtime identical to the speed policy but a
+slightly lower fidelity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.scheduling.base import AllocationPlan, AllocationPolicy
+
+__all__ = ["FairPolicy"]
+
+
+class FairPolicy(AllocationPolicy):
+    """Select the least-utilised devices first."""
+
+    name = "fair"
+
+    def plan(self, job: Any, devices: Sequence[Any]) -> Optional[AllocationPlan]:
+        ordered = sorted(devices, key=lambda d: (d.utilization, -d.free_qubits, d.name))
+        return self._greedy_fill(job, ordered)

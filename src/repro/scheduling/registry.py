@@ -1,0 +1,71 @@
+"""Policy registry: create allocation policies by name.
+
+The configuration layer (§3) lets users pick a scheduling policy by name;
+this registry maps the paper's mode names to policy classes and allows users
+to register their own.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from repro.scheduling.base import AllocationPolicy
+from repro.scheduling.baselines import EvenSplitPolicy, RandomPolicy, RoundRobinPolicy
+from repro.scheduling.error_aware import ErrorAwarePolicy
+from repro.scheduling.fair import FairPolicy
+from repro.scheduling.speed import SpeedPolicy
+
+__all__ = ["register_policy", "create_policy", "available_policies"]
+
+_REGISTRY: Dict[str, Callable[..., AllocationPolicy]] = {}
+
+
+def register_policy(name: str, factory: Callable[..., AllocationPolicy]) -> None:
+    """Register a policy *factory* under *name* (overwrites existing entries)."""
+    if not name:
+        raise ValueError("policy name must be non-empty")
+    _REGISTRY[name] = factory
+
+
+def create_policy(name: str, **kwargs: Any) -> AllocationPolicy:
+    """Instantiate a registered policy by name.
+
+    The paper's four modes are registered as ``"speed"``, ``"fidelity"``
+    (alias ``"error_aware"``), ``"fair"`` and — once a model is supplied —
+    ``"rlbase"`` (which requires a ``model=...`` keyword argument).
+    """
+    if name not in _REGISTRY:
+        raise KeyError(f"Unknown policy {name!r}; available: {available_policies()}")
+    return _REGISTRY[name](**kwargs)
+
+
+def available_policies() -> List[str]:
+    """Names of all registered policies."""
+    return sorted(_REGISTRY)
+
+
+def _register_builtins() -> None:
+    from repro.scheduling.tradeoff import BalancedTradeoffPolicy, MinFragmentationPolicy
+
+    register_policy("speed", SpeedPolicy)
+    register_policy("fidelity", ErrorAwarePolicy)
+    register_policy("error_aware", ErrorAwarePolicy)
+    register_policy("fair", FairPolicy)
+    register_policy("random", RandomPolicy)
+    register_policy("round_robin", RoundRobinPolicy)
+    register_policy("even_split", EvenSplitPolicy)
+    register_policy("balanced", BalancedTradeoffPolicy)
+    register_policy("min_fragmentation", MinFragmentationPolicy)
+
+    def _make_rl(**kwargs: Any) -> AllocationPolicy:
+        from repro.scheduling.rl_policy import RLAllocationPolicy
+
+        if "model" not in kwargs:
+            raise ValueError("the 'rlbase' policy requires a model=... keyword argument")
+        return RLAllocationPolicy(**kwargs)
+
+    register_policy("rlbase", _make_rl)
+    register_policy("rl", _make_rl)
+
+
+_register_builtins()

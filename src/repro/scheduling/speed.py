@@ -1,0 +1,36 @@
+"""Speed-optimised allocation (paper §5, "Speed-based Mode").
+
+The policy prioritises minimising execution time: devices are ordered by
+processing capability (CLOPS, highest first) without considering noise
+levels, and the job's qubits are packed greedily into the free capacity of
+the fastest devices.  When the fastest devices are partially busy the job
+spills over onto slower ones, which is what produces the higher
+fragmentation (and hence communication overhead) reported for this strategy
+in Table 2.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.scheduling.base import AllocationPlan, AllocationPolicy
+
+__all__ = ["SpeedPolicy"]
+
+
+class SpeedPolicy(AllocationPolicy):
+    """Select the fastest (highest-CLOPS) devices first."""
+
+    name = "speed"
+
+    def __init__(self, prefer_idle: bool = True) -> None:
+        #: When two devices have the same CLOPS, prefer the one with more free
+        #: qubits (reduces unnecessary fragmentation among equals).
+        self.prefer_idle = bool(prefer_idle)
+
+    def plan(self, job: Any, devices: Sequence[Any]) -> Optional[AllocationPlan]:
+        if self.prefer_idle:
+            ordered = sorted(devices, key=lambda d: (-d.clops, -d.free_qubits, d.name))
+        else:
+            ordered = sorted(devices, key=lambda d: (-d.clops, d.name))
+        return self._greedy_fill(job, ordered)

@@ -1,0 +1,83 @@
+"""Extension policies beyond the paper's four modes.
+
+The paper's discussion (§7.2) frames scheduling as a trade-off between
+execution efficiency and output quality, with the speed and error-aware
+policies at the two extremes.  These extension policies populate the space in
+between and are used by the ablation benchmarks:
+
+* :class:`BalancedTradeoffPolicy` — scores devices by a convex combination of
+  their (normalised) error score and their (normalised) slowness, so a single
+  parameter sweeps continuously from speed-like to fidelity-like behaviour.
+* :class:`MinFragmentationPolicy` — minimises the number of devices per job
+  (and hence the φ^(k-1) penalty and the communication volume) by choosing
+  the devices with the most free capacity first, regardless of their speed or
+  calibration.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.scheduling.base import AllocationPlan, AllocationPolicy
+
+__all__ = ["BalancedTradeoffPolicy", "MinFragmentationPolicy"]
+
+
+class BalancedTradeoffPolicy(AllocationPolicy):
+    """Interpolate between speed-optimised and error-aware device selection.
+
+    Each device is scored as::
+
+        score = weight * error_rank + (1 - weight) * slowness_rank
+
+    where both ranks are normalised to [0, 1] over the fleet.  ``weight = 0``
+    reproduces the speed ordering, ``weight = 1`` the error-aware ordering,
+    and intermediate values trade fidelity against runtime.
+
+    Parameters
+    ----------
+    fidelity_weight:
+        Weight of the error-score term (default 0.5).
+    """
+
+    name = "balanced"
+
+    def __init__(self, fidelity_weight: float = 0.5) -> None:
+        if not 0.0 <= fidelity_weight <= 1.0:
+            raise ValueError("fidelity_weight must be in [0, 1]")
+        self.fidelity_weight = float(fidelity_weight)
+
+    @staticmethod
+    def _normalise(values):
+        lo, hi = min(values), max(values)
+        if hi - lo < 1e-15:
+            return [0.0 for _ in values]
+        return [(v - lo) / (hi - lo) for v in values]
+
+    def plan(self, job: Any, devices: Sequence[Any]) -> Optional[AllocationPlan]:
+        devices = list(devices)
+        if not devices:
+            return None
+        errors = self._normalise([d.error_score() for d in devices])
+        slowness = self._normalise([1.0 / d.clops for d in devices])
+        scores = {
+            d.name: self.fidelity_weight * e + (1.0 - self.fidelity_weight) * s
+            for d, e, s in zip(devices, errors, slowness)
+        }
+        ordered = sorted(devices, key=lambda d: (scores[d.name], d.name))
+        return self._greedy_fill(job, ordered)
+
+
+class MinFragmentationPolicy(AllocationPolicy):
+    """Use as few devices as possible for each job.
+
+    Devices are ordered by current free capacity (largest first), which
+    minimises the number of fragments ``k`` given the present fleet state;
+    ties are broken by error score so equally-free devices favour quality.
+    """
+
+    name = "min_fragmentation"
+
+    def plan(self, job: Any, devices: Sequence[Any]) -> Optional[AllocationPlan]:
+        ordered = sorted(devices, key=lambda d: (-d.free_qubits, d.error_score(), d.name))
+        return self._greedy_fill(job, ordered)

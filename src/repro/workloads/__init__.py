@@ -1,0 +1,25 @@
+"""Named workloads used by the examples and benchmarks.
+
+* :func:`~repro.workloads.synthetic.case_study_jobs` — the paper's 1,000-job
+  case-study workload (§7),
+* :func:`~repro.workloads.synthetic.ghz_sweep_jobs` — GHZ-state preparation
+  circuits of increasing width,
+* :func:`~repro.workloads.synthetic.qaoa_portfolio_jobs` — a batch of QAOA
+  portfolio-optimisation-style circuits,
+* :func:`~repro.workloads.synthetic.mixed_tenant_jobs` — a mixed multi-tenant
+  trace combining the above with Poisson arrivals.
+"""
+
+from repro.workloads.synthetic import (
+    case_study_jobs,
+    ghz_sweep_jobs,
+    mixed_tenant_jobs,
+    qaoa_portfolio_jobs,
+)
+
+__all__ = [
+    "case_study_jobs",
+    "ghz_sweep_jobs",
+    "mixed_tenant_jobs",
+    "qaoa_portfolio_jobs",
+]

@@ -1,0 +1,66 @@
+"""Tests for the connectivity audit (replay of completed schedules)."""
+
+import pytest
+
+from repro.analysis.connectivity import audit_connectivity
+from repro.analysis.experiments import run_policy_simulation
+from repro.cloud.config import SimulationConfig
+from repro.cloud.records import JobRecord
+from repro.hardware.backends import build_default_fleet
+
+
+def make_record(job_id, start, finish, devices, allocation, q=None):
+    return JobRecord(
+        job_id=job_id,
+        num_qubits=q if q is not None else sum(allocation),
+        depth=10,
+        num_shots=10_000,
+        arrival_time=0.0,
+        start_time=start,
+        finish_time=finish,
+        fidelity=0.7,
+        communication_time=1.0,
+        num_devices=len(devices),
+        devices=list(devices),
+        allocation=list(allocation),
+    )
+
+
+class TestAuditMechanics:
+    def test_sequential_jobs_always_connected(self, default_fleet):
+        records = [
+            make_record(0, 0.0, 10.0, ["ibm_kyiv", "ibm_quebec"], [127, 63]),
+            make_record(1, 10.0, 20.0, ["ibm_kyiv", "ibm_quebec"], [127, 63]),
+        ]
+        audit = audit_connectivity(records, default_fleet)
+        assert audit.total_placements == 4
+        assert audit.connected_fraction == 1.0
+        assert set(audit.per_device) == {d.name for d in default_fleet}
+
+    def test_release_frees_capacity_for_next_job(self, default_fleet):
+        # Jobs back to back on the same devices at the exact same timestamp:
+        # the release of job 0 must be processed before the allocation of job 1.
+        records = [
+            make_record(0, 0.0, 10.0, ["ibm_kyiv"], [120]),
+            make_record(1, 10.0, 20.0, ["ibm_kyiv"], [120]),
+        ]
+        audit = audit_connectivity(records, default_fleet)
+        assert audit.total_placements == 2
+
+    def test_empty_records(self, default_fleet):
+        audit = audit_connectivity([], default_fleet)
+        assert audit.total_placements == 0
+        assert audit.connected_fraction == 1.0
+
+
+class TestAuditOnSimulations:
+    @pytest.mark.parametrize("policy", ["speed", "fidelity", "even_split"])
+    def test_audit_full_simulation(self, policy, default_fleet):
+        cfg = SimulationConfig(num_jobs=20, seed=11, policy=policy)
+        _summary, records = run_policy_simulation(cfg)
+        audit = audit_connectivity(records, default_fleet)
+        assert audit.total_placements == sum(r.num_devices for r in records)
+        assert 0.0 <= audit.connected_fraction <= 1.0
+        # On heavy-hex devices with greedy BFS placement the assumption holds
+        # for the overwhelming majority of placements.
+        assert audit.connected_fraction > 0.5

@@ -1,0 +1,72 @@
+"""Unit tests for the fidelity-distribution utilities (Fig. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.histogram import ascii_histogram, distribution_stats, fidelity_distributions
+
+
+class TestFidelityDistributions:
+    def test_common_binning(self, rng):
+        data = {
+            "speed": rng.normal(0.65, 0.01, 200).tolist(),
+            "fidelity": rng.normal(0.69, 0.02, 200).tolist(),
+        }
+        result = fidelity_distributions(data, bins=20)
+        assert set(result) == {"speed", "fidelity"}
+        edges_a = result["speed"]["edges"]
+        edges_b = result["fidelity"]["edges"]
+        assert np.allclose(edges_a, edges_b)
+        assert result["speed"]["counts"].sum() == 200
+        assert np.isclose(result["speed"]["density"].sum(), 1.0)
+
+    def test_right_shifted_distribution_detected(self, rng):
+        data = {
+            "speed": rng.normal(0.65, 0.01, 500),
+            "fidelity": rng.normal(0.69, 0.01, 500),
+        }
+        result = fidelity_distributions(data, bins=30)
+        mean_bin = lambda r: np.average(r["centers"], weights=np.maximum(r["counts"], 1e-9))
+        assert mean_bin(result["fidelity"]) > mean_bin(result["speed"])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fidelity_distributions({}, bins=10)
+        with pytest.raises(ValueError):
+            fidelity_distributions({"a": [0.5]}, bins=0)
+
+    def test_degenerate_single_value(self):
+        result = fidelity_distributions({"a": [0.5, 0.5, 0.5]}, bins=5)
+        assert result["a"]["counts"].sum() == 3
+
+
+class TestDistributionStats:
+    def test_stats(self, rng):
+        values = rng.normal(0.65, 0.02, 1000)
+        stats = distribution_stats(values)
+        assert stats["mean"] == pytest.approx(0.65, abs=0.01)
+        assert stats["std"] == pytest.approx(0.02, abs=0.005)
+        assert stats["min"] <= stats["mean"] <= stats["max"]
+        assert stats["iqr_width"] > 0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            distribution_stats([])
+
+    def test_broader_distribution_has_larger_iqr(self, rng):
+        narrow = distribution_stats(rng.normal(0.65, 0.01, 1000))
+        broad = distribution_stats(rng.uniform(0.60, 0.64, 1000))
+        assert broad["iqr_width"] > narrow["iqr_width"]
+
+
+class TestAsciiHistogram:
+    def test_render(self, rng):
+        text = ascii_histogram(rng.normal(0.65, 0.02, 300), bins=10, title="speed")
+        lines = text.splitlines()
+        assert lines[0] == "speed"
+        assert len(lines) == 11
+        assert "#" in text
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ascii_histogram([])

@@ -1,0 +1,60 @@
+"""Unit tests for table rendering."""
+
+import pytest
+
+from repro.analysis.reporting import format_markdown_table, format_table2
+from repro.metrics.aggregate import StrategySummary
+
+
+def summary(name, tsim, fid, comm):
+    return StrategySummary(
+        strategy=name,
+        num_jobs=100,
+        total_simulation_time=tsim,
+        mean_fidelity=fid,
+        std_fidelity=0.01,
+        total_communication_time=comm,
+        mean_devices_per_job=2.5,
+        mean_turnaround_time=100.0,
+        mean_wait_time=10.0,
+    )
+
+
+class TestTable2:
+    def test_contains_all_modes_and_numbers(self):
+        table = format_table2(
+            {
+                "speed": summary("speed", 108775.38, 0.65332, 5707.80),
+                "fidelity": summary("fidelity", 209873.02, 0.68781, 3822.74),
+            }
+        )
+        assert "speed" in table and "fidelity" in table
+        assert "108775.38" in table
+        assert "0.65332" in table
+        assert "3822.74" in table
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            format_table2({})
+
+
+class TestMarkdown:
+    def test_renders_rows(self):
+        rows = [
+            {"strategy": "speed", "T_sim_s": 1.0, "mean_fidelity": 0.65},
+            {"strategy": "fair", "T_sim_s": 2.0, "mean_fidelity": 0.64},
+        ]
+        text = format_markdown_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("| strategy")
+        assert len(lines) == 4
+        assert "| speed |" in lines[2]
+
+    def test_column_subset(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_markdown_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            format_markdown_table([])

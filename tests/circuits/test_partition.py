@@ -1,0 +1,161 @@
+"""Unit and property-based tests for qubit partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.partition import (
+    allocation_from_weights,
+    partition_even,
+    partition_greedy_fill,
+    partition_proportional,
+    validate_allocation,
+)
+
+
+class TestValidateAllocation:
+    def test_accepts_valid(self):
+        validate_allocation([3, 2], total=5, capacities=[4, 4])
+
+    def test_rejects_wrong_sum(self):
+        with pytest.raises(ValueError):
+            validate_allocation([3, 3], total=5, capacities=[4, 4])
+
+    def test_rejects_capacity_violation(self):
+        with pytest.raises(ValueError):
+            validate_allocation([5, 0], total=5, capacities=[4, 4])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            validate_allocation([6, -1], total=5, capacities=[10, 10])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            validate_allocation([5], total=5, capacities=[4, 4])
+
+
+class TestGreedyFill:
+    def test_fills_in_order(self):
+        assert partition_greedy_fill(190, [127, 127, 127]) == [127, 63, 0]
+
+    def test_exact_fit(self):
+        assert partition_greedy_fill(254, [127, 127]) == [127, 127]
+
+    def test_insufficient_capacity(self):
+        with pytest.raises(ValueError):
+            partition_greedy_fill(300, [127, 127])
+
+    def test_skips_full_devices(self):
+        assert partition_greedy_fill(50, [0, 30, 40]) == [0, 30, 20]
+
+
+class TestEven:
+    def test_even_split(self):
+        assert partition_even(90, [127, 127, 127]) == [30, 30, 30]
+
+    def test_uneven_remainder(self):
+        allocation = partition_even(91, [127, 127, 127])
+        assert sum(allocation) == 91
+        assert max(allocation) - min(allocation) <= 1
+
+    def test_respects_small_capacities(self):
+        allocation = partition_even(100, [10, 200, 200])
+        assert sum(allocation) == 100
+        assert allocation[0] <= 10
+
+    def test_insufficient(self):
+        with pytest.raises(ValueError):
+            partition_even(100, [10, 10])
+
+
+class TestProportional:
+    def test_proportional_to_weights(self):
+        allocation = partition_proportional(100, [3.0, 1.0], [127, 127])
+        assert allocation == [75, 25]
+
+    def test_zero_weights_fall_back_to_even(self):
+        allocation = partition_proportional(100, [0.0, 0.0], [127, 127])
+        assert sum(allocation) == 100
+
+    def test_capacity_respected_even_with_extreme_weights(self):
+        allocation = partition_proportional(200, [1000.0, 1e-9], [127, 127])
+        assert allocation[0] == 127
+        assert sum(allocation) == 200
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            partition_proportional(10, [-1.0, 2.0], [20, 20])
+
+
+class TestAllocationFromWeights:
+    def test_clips_negative_weights(self):
+        allocation = allocation_from_weights([-5.0, 1.0, 1.0], 100, [127, 127, 127])
+        assert sum(allocation) == 100
+        assert allocation[0] <= allocation[1]
+
+    def test_all_negative_weights_still_valid(self):
+        allocation = allocation_from_weights([-1.0, -2.0], 50, [127, 127])
+        assert sum(allocation) == 50
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests: every partitioning function must satisfy the §4
+# constraints (sum equals demand, no entry negative, capacities respected)
+# for arbitrary feasible inputs.
+# ---------------------------------------------------------------------------
+feasible_problem = st.integers(min_value=1, max_value=8).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.integers(min_value=0, max_value=200), min_size=n, max_size=n),
+        st.integers(min_value=1, max_value=200 * n),
+    )
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(feasible_problem)
+def test_greedy_fill_properties(problem):
+    capacities, total = problem
+    if sum(capacities) < total:
+        with pytest.raises(ValueError):
+            partition_greedy_fill(total, capacities)
+        return
+    allocation = partition_greedy_fill(total, capacities)
+    validate_allocation(allocation, total, capacities)
+
+
+@settings(max_examples=150, deadline=None)
+@given(feasible_problem)
+def test_even_partition_properties(problem):
+    capacities, total = problem
+    if sum(capacities) < total:
+        return
+    allocation = partition_even(total, capacities)
+    validate_allocation(allocation, total, capacities)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    feasible_problem,
+    st.lists(st.floats(min_value=0.0, max_value=10.0, allow_nan=False), min_size=8, max_size=8),
+)
+def test_proportional_partition_properties(problem, raw_weights):
+    capacities, total = problem
+    if sum(capacities) < total:
+        return
+    weights = raw_weights[: len(capacities)]
+    allocation = partition_proportional(total, weights, capacities)
+    validate_allocation(allocation, total, capacities)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.integers(min_value=130, max_value=250),
+    st.lists(
+        st.floats(min_value=-3.0, max_value=3.0, allow_nan=False), min_size=5, max_size=5
+    ),
+)
+def test_rl_action_postprocessing_properties(total, weights):
+    capacities = [127] * 5
+    allocation = allocation_from_weights(weights, total, capacities)
+    validate_allocation(allocation, total, capacities)

@@ -1,0 +1,54 @@
+"""Unit tests for CSV/JSON job I/O."""
+
+import pytest
+
+from repro.cloud.io import jobs_from_csv, jobs_from_json, jobs_to_csv, jobs_to_json
+from repro.cloud.job_generator import generate_synthetic_jobs
+
+
+class TestCSV:
+    def test_roundtrip(self, tmp_path):
+        jobs = generate_synthetic_jobs(10, seed=0, arrival="poisson", arrival_rate=0.1)
+        path = str(tmp_path / "jobs.csv")
+        jobs_to_csv(jobs, path)
+        loaded = jobs_from_csv(path)
+        assert len(loaded) == 10
+        for original, rebuilt in zip(jobs, loaded):
+            assert rebuilt.job_id == original.job_id
+            assert rebuilt.num_qubits == original.num_qubits
+            assert rebuilt.depth == original.depth
+            assert rebuilt.num_shots == original.num_shots
+            assert rebuilt.arrival_time == pytest.approx(original.arrival_time)
+
+    def test_hand_written_minimal_csv(self, tmp_path):
+        path = tmp_path / "minimal.csv"
+        path.write_text(
+            "job_id,num_qubits,depth,num_shots\n"
+            "0,140,8,20000\n"
+            "1,200,15,50000\n"
+        )
+        jobs = jobs_from_csv(str(path))
+        assert len(jobs) == 2
+        assert jobs[1].num_qubits == 200
+        assert jobs[0].arrival_time == 0.0
+
+    def test_empty_csv_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("job_id,num_qubits,depth,num_shots\n")
+        with pytest.raises(ValueError):
+            jobs_from_csv(str(path))
+
+
+class TestJSON:
+    def test_roundtrip(self, tmp_path):
+        jobs = generate_synthetic_jobs(5, seed=3)
+        path = str(tmp_path / "jobs.json")
+        jobs_to_json(jobs, path)
+        loaded = jobs_from_json(path)
+        assert [j.as_dict() for j in loaded] == [j.as_dict() for j in jobs]
+
+    def test_invalid_payload(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError):
+            jobs_from_json(str(path))

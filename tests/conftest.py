@@ -1,0 +1,40 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud.config import SimulationConfig
+from repro.des.environment import Environment
+from repro.hardware.backends import build_default_fleet, get_device_profile
+
+
+@pytest.fixture
+def env() -> Environment:
+    """A fresh discrete-event simulation environment."""
+    return Environment()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A seeded NumPy random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def default_fleet():
+    """The paper's five-device fleet (session-scoped: profiles are immutable)."""
+    return build_default_fleet()
+
+
+@pytest.fixture(scope="session")
+def small_profile():
+    """A single small device profile (10 qubits) for cheap device-level tests."""
+    return get_device_profile("ibm_strasbourg", num_qubits=10, quantum_volume=32)
+
+
+@pytest.fixture
+def fast_config() -> SimulationConfig:
+    """A small configuration for quick end-to-end simulations."""
+    return SimulationConfig(num_jobs=12, seed=7)

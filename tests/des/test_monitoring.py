@@ -1,0 +1,75 @@
+"""Unit tests for DES monitoring utilities."""
+
+import pytest
+
+from repro.des import Container, Environment
+from repro.des.monitoring import PeriodicSampler, trace_events
+
+
+class TestTraceEvents:
+    def test_all_processed_events_traced(self, env):
+        log = []
+        trace_events(env, lambda t, prio, ev: log.append((t, type(ev).__name__)))
+
+        def proc(env):
+            yield env.timeout(2)
+            yield env.timeout(3)
+
+        env.process(proc(env))
+        env.run()
+        names = [name for _, name in log]
+        assert "Initialize" in names
+        assert names.count("Timeout") == 2
+        assert "Process" in names
+        times = [t for t, _ in log]
+        assert times == sorted(times)
+
+    def test_undo_restores_original_step(self, env):
+        log = []
+        undo = trace_events(env, lambda t, prio, ev: log.append(t))
+        env.timeout(1)
+        env.run()
+        first_count = len(log)
+        undo()
+        env.timeout(1)
+        env.run()
+        assert len(log) == first_count
+
+
+class TestPeriodicSampler:
+    def test_samples_at_fixed_period(self, env):
+        container = Container(env, capacity=100, init=100)
+
+        def worker(env, container):
+            yield container.get(40)
+            yield env.timeout(5)
+            yield container.put(40)
+
+        env.process(worker(env, container))
+        sampler = PeriodicSampler(env, lambda: container.level, period=1.0)
+        env.run(until=8)
+        assert sampler.times == [0.0] + [float(t) for t in range(1, 8)]
+        assert sampler.values[0] in (100, 60)
+        assert 60 in sampler.values
+        assert sampler.values[-1] == 100
+
+    def test_stop_ends_sampling(self, env):
+        sampler = PeriodicSampler(env, lambda: 1, period=1.0)
+        env.timeout(10)  # keep the schedule non-empty beyond the stop
+        sampler.stop()
+        env.run()
+        assert len(sampler.samples) <= 2
+
+    def test_invalid_period(self, env):
+        with pytest.raises(ValueError):
+            PeriodicSampler(env, lambda: 0, period=0.0)
+
+    def test_delayed_start(self, env):
+        sampler = PeriodicSampler(env, lambda: env.now, period=2.0, start_immediately=False)
+
+        def background(env):
+            yield env.timeout(5)
+
+        env.process(background(env))
+        env.run(until=5)
+        assert sampler.times == [2.0, 4.0]

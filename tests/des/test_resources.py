@@ -1,0 +1,187 @@
+"""Unit tests for Resource / PriorityResource / PreemptiveResource."""
+
+import pytest
+
+from repro.des import Environment, Interrupt, PreemptiveResource, PriorityResource, Resource
+from repro.des.resources.resource import Preempted
+
+
+class TestResource:
+    def test_capacity_validation(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_count_and_queue(self, env):
+        res = Resource(env, capacity=1)
+        log = []
+
+        def user(env, res, name, hold):
+            with res.request() as req:
+                yield req
+                log.append((env.now, name, "acquired", res.count))
+                yield env.timeout(hold)
+            log.append((env.now, name, "released", res.count))
+
+        env.process(user(env, res, "a", 5))
+        env.process(user(env, res, "b", 3))
+        env.run()
+        assert log[0] == (0, "a", "acquired", 1)
+        # b must wait for a to release at t=5.
+        assert (5, "b", "acquired", 1) in log
+        assert log[-1] == (8, "b", "released", 0)
+
+    def test_parallel_users_up_to_capacity(self, env):
+        res = Resource(env, capacity=2)
+        acquired_at = []
+
+        def user(env, res):
+            with res.request() as req:
+                yield req
+                acquired_at.append(env.now)
+                yield env.timeout(10)
+
+        for _ in range(3):
+            env.process(user(env, res))
+        env.run()
+        assert acquired_at == [0, 0, 10]
+
+    def test_release_without_context_manager(self, env):
+        res = Resource(env, capacity=1)
+
+        def user(env, res, log):
+            req = res.request()
+            yield req
+            log.append(res.count)
+            yield env.timeout(1)
+            yield res.release(req)
+            log.append(res.count)
+
+        log = []
+        env.process(user(env, res, log))
+        env.run()
+        assert log == [1, 0]
+
+    def test_queue_is_fifo(self, env):
+        res = Resource(env, capacity=1)
+        order = []
+
+        def user(env, res, name):
+            with res.request() as req:
+                yield req
+                order.append(name)
+                yield env.timeout(1)
+
+        for name in ["first", "second", "third"]:
+            env.process(user(env, res, name))
+        env.run()
+        assert order == ["first", "second", "third"]
+
+    def test_cancelled_request_leaves_queue(self, env):
+        res = Resource(env, capacity=1)
+
+        def holder(env, res):
+            with res.request() as req:
+                yield req
+                yield env.timeout(10)
+
+        def impatient(env, res, log):
+            req = res.request()
+            result = yield req | env.timeout(2)
+            if req not in result:
+                req.cancel()
+                log.append("gave up")
+
+        log = []
+        env.process(holder(env, res))
+        env.process(impatient(env, res, log))
+        env.run()
+        assert log == ["gave up"]
+        assert len(res.queue) == 0
+
+
+class TestPriorityResource:
+    def test_priority_order(self, env):
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def user(env, res, name, priority, delay):
+            yield env.timeout(delay)
+            with res.request(priority=priority) as req:
+                yield req
+                order.append(name)
+                yield env.timeout(10)
+
+        env.process(user(env, res, "holder", 0, 0))
+        env.process(user(env, res, "low", 5, 1))
+        env.process(user(env, res, "high", -5, 2))
+        env.run()
+        # After the holder releases, the high-priority request (arriving later)
+        # must be served before the low-priority one.
+        assert order == ["holder", "high", "low"]
+
+    def test_equal_priority_fifo(self, env):
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def user(env, res, name, delay):
+            yield env.timeout(delay)
+            with res.request(priority=1) as req:
+                yield req
+                order.append(name)
+                yield env.timeout(5)
+
+        env.process(user(env, res, "a", 0))
+        env.process(user(env, res, "b", 1))
+        env.process(user(env, res, "c", 2))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestPreemptiveResource:
+    def test_preemption_interrupts_lower_priority_user(self, env):
+        res = PreemptiveResource(env, capacity=1)
+        log = []
+
+        def low(env, res):
+            with res.request(priority=10) as req:
+                yield req
+                try:
+                    yield env.timeout(100)
+                except Interrupt as interrupt:
+                    cause = interrupt.cause
+                    assert isinstance(cause, Preempted)
+                    log.append(("preempted", env.now, cause.usage_since))
+
+        def high(env, res):
+            yield env.timeout(5)
+            with res.request(priority=-1) as req:
+                yield req
+                log.append(("high acquired", env.now))
+                yield env.timeout(1)
+
+        env.process(low(env, res))
+        env.process(high(env, res))
+        env.run()
+        assert ("preempted", 5, 0) in log
+        assert ("high acquired", 5) in log
+
+    def test_no_preemption_when_disabled(self, env):
+        res = PreemptiveResource(env, capacity=1)
+        log = []
+
+        def low(env, res):
+            with res.request(priority=10) as req:
+                yield req
+                yield env.timeout(20)
+                log.append(("low done", env.now))
+
+        def polite(env, res):
+            yield env.timeout(5)
+            with res.request(priority=-1, preempt=False) as req:
+                yield req
+                log.append(("polite acquired", env.now))
+
+        env.process(low(env, res))
+        env.process(polite(env, res))
+        env.run()
+        assert log == [("low done", 20), ("polite acquired", 20)]

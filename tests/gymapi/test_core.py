@@ -1,0 +1,117 @@
+"""Unit tests for the Env / Wrapper base classes."""
+
+import numpy as np
+import pytest
+
+from repro.gymapi import ActionWrapper, Env, ObservationWrapper, RewardWrapper, Wrapper, spaces
+
+
+class CounterEnv(Env):
+    """Tiny deterministic environment used to exercise the API."""
+
+    def __init__(self, horizon: int = 5):
+        self.observation_space = spaces.Box(0.0, float(horizon), shape=(1,), dtype=np.float64)
+        self.action_space = spaces.Discrete(2)
+        self.horizon = horizon
+        self.t = 0
+        self.closed = False
+
+    def reset(self, *, seed=None, options=None):
+        super().reset(seed=seed)
+        self.t = 0
+        return np.array([0.0]), {"start": True}
+
+    def step(self, action):
+        self.t += 1
+        reward = float(action)
+        terminated = self.t >= self.horizon
+        return np.array([float(self.t)]), reward, terminated, False, {}
+
+    def close(self):
+        self.closed = True
+
+
+class TestEnvAPI:
+    def test_reset_returns_obs_info(self):
+        env = CounterEnv()
+        obs, info = env.reset(seed=3)
+        assert obs.shape == (1,)
+        assert info == {"start": True}
+
+    def test_step_five_tuple(self):
+        env = CounterEnv()
+        env.reset()
+        obs, reward, terminated, truncated, info = env.step(1)
+        assert obs[0] == 1.0
+        assert reward == 1.0
+        assert terminated is False and truncated is False
+
+    def test_np_random_seeding(self):
+        env = CounterEnv()
+        env.reset(seed=99)
+        v1 = env.np_random.random()
+        env.reset(seed=99)
+        v2 = env.np_random.random()
+        assert v1 == v2
+
+    def test_unwrapped_is_self(self):
+        env = CounterEnv()
+        assert env.unwrapped is env
+
+    def test_context_manager_closes(self):
+        env = CounterEnv()
+        with env:
+            pass
+        assert env.closed
+
+
+class TestWrapper:
+    def test_attribute_forwarding(self):
+        env = CounterEnv()
+        wrapped = Wrapper(env)
+        assert wrapped.horizon == 5
+        assert wrapped.unwrapped is env
+        assert wrapped.observation_space is env.observation_space
+        assert wrapped.action_space is env.action_space
+
+    def test_private_attribute_forwarding_blocked(self):
+        wrapped = Wrapper(CounterEnv())
+        with pytest.raises(AttributeError):
+            _ = wrapped._some_private_attribute_of_the_inner_env
+
+    def test_space_override(self):
+        wrapped = Wrapper(CounterEnv())
+        new_space = spaces.Discrete(7)
+        wrapped.action_space = new_space
+        assert wrapped.action_space is new_space
+
+    def test_observation_wrapper(self):
+        class Doubler(ObservationWrapper):
+            def observation(self, observation):
+                return observation * 2
+
+        env = Doubler(CounterEnv())
+        obs, _ = env.reset()
+        assert obs[0] == 0.0
+        obs, *_ = env.step(0)
+        assert obs[0] == 2.0
+
+    def test_action_wrapper(self):
+        class Flip(ActionWrapper):
+            def action(self, action):
+                return 1 - action
+
+        env = Flip(CounterEnv())
+        env.reset()
+        _, reward, *_ = env.step(0)
+        assert reward == 1.0
+
+    def test_reward_wrapper(self):
+        class Scale(RewardWrapper):
+            def reward(self, reward):
+                return reward * 10
+
+        env = Scale(CounterEnv())
+        env.reset()
+        _, reward, *_ = env.step(1)
+        assert reward == 10.0

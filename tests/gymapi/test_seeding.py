@@ -1,0 +1,32 @@
+"""Unit tests for the seeding helper."""
+
+import numpy as np
+import pytest
+
+from repro.gymapi.seeding import np_random
+
+
+class TestNpRandom:
+    def test_same_seed_same_stream(self):
+        g1, _ = np_random(42)
+        g2, _ = np_random(42)
+        assert np.allclose(g1.random(10), g2.random(10))
+
+    def test_different_seeds_differ(self):
+        g1, _ = np_random(1)
+        g2, _ = np_random(2)
+        assert not np.allclose(g1.random(10), g2.random(10))
+
+    def test_none_seed_gives_entropy(self):
+        g1, s1 = np_random(None)
+        g2, s2 = np_random(None)
+        assert s1 != s2
+        assert not np.allclose(g1.random(5), g2.random(5))
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            np_random(-1)
+
+    def test_non_integer_seed_rejected(self):
+        with pytest.raises(ValueError):
+            np_random(1.5)

@@ -1,0 +1,130 @@
+"""Unit tests for the common wrappers and RunningMeanStd."""
+
+import numpy as np
+import pytest
+
+from repro.gymapi import Env, spaces
+from repro.gymapi.wrappers import (
+    ClipAction,
+    NormalizeObservation,
+    RecordEpisodeStatistics,
+    RescaleAction,
+    RunningMeanStd,
+    TimeLimit,
+)
+
+
+class ContinuousEnv(Env):
+    def __init__(self):
+        self.observation_space = spaces.Box(-10.0, 10.0, shape=(2,), dtype=np.float64)
+        self.action_space = spaces.Box(-1.0, 1.0, shape=(2,), dtype=np.float64)
+        self.last_action = None
+
+    def reset(self, *, seed=None, options=None):
+        super().reset(seed=seed)
+        return np.zeros(2), {}
+
+    def step(self, action):
+        self.last_action = np.asarray(action, dtype=np.float64)
+        return self.last_action.copy(), float(self.last_action.sum()), False, False, {}
+
+
+class TestRunningMeanStd:
+    def test_matches_numpy_moments(self, rng):
+        data = rng.normal(3.0, 2.0, size=(500, 4))
+        rms = RunningMeanStd(shape=(4,))
+        for chunk in np.array_split(data, 10):
+            rms.update(chunk)
+        assert np.allclose(rms.mean, data.mean(axis=0), atol=1e-2)
+        assert np.allclose(rms.var, data.var(axis=0), atol=5e-2)
+        assert np.allclose(rms.std, np.sqrt(rms.var))
+
+    def test_single_sample_updates(self):
+        rms = RunningMeanStd(shape=(2,))
+        rms.update(np.array([[1.0, 2.0]]))
+        rms.update(np.array([[3.0, 4.0]]))
+        assert np.allclose(rms.mean, [2.0, 3.0], atol=1e-2)
+
+
+class TestTimeLimit:
+    def test_truncates_after_max_steps(self):
+        env = TimeLimit(ContinuousEnv(), max_episode_steps=3)
+        env.reset()
+        outcomes = [env.step(np.zeros(2))[3] for _ in range(3)]
+        assert outcomes == [False, False, True]
+
+    def test_reset_restarts_counter(self):
+        env = TimeLimit(ContinuousEnv(), max_episode_steps=2)
+        env.reset()
+        env.step(np.zeros(2))
+        env.reset()
+        _, _, _, truncated, _ = env.step(np.zeros(2))
+        assert truncated is False
+
+    def test_invalid_max_steps(self):
+        with pytest.raises(ValueError):
+            TimeLimit(ContinuousEnv(), max_episode_steps=0)
+
+
+class TestClipAndRescale:
+    def test_clip_action(self):
+        env = ClipAction(ContinuousEnv())
+        env.reset()
+        env.step(np.array([5.0, -5.0]))
+        assert np.allclose(env.env.last_action, [1.0, -1.0])
+
+    def test_rescale_action(self):
+        env = RescaleAction(ContinuousEnv(), min_action=0.0, max_action=1.0)
+        env.reset()
+        env.step(np.array([0.0, 1.0]))
+        assert np.allclose(env.env.last_action, [-1.0, 1.0])
+        assert env.action_space.low.min() == 0.0
+
+    def test_clip_requires_box(self):
+        class DiscreteEnv(ContinuousEnv):
+            def __init__(self):
+                super().__init__()
+                self.action_space = spaces.Discrete(2)
+
+        with pytest.raises(TypeError):
+            ClipAction(DiscreteEnv())
+
+
+class TestNormalizeObservation:
+    def test_normalised_stream_has_small_mean(self, rng):
+        env = NormalizeObservation(ContinuousEnv())
+        env.reset(seed=0)
+        outs = []
+        for _ in range(300):
+            obs, *_ = env.step(rng.normal(0.5, 0.1, size=2))
+            outs.append(obs)
+        outs = np.asarray(outs[50:])
+        assert np.all(np.abs(outs.mean(axis=0)) < 0.5)
+
+    def test_freezing_statistics(self):
+        env = NormalizeObservation(ContinuousEnv())
+        env.reset()
+        env.step(np.array([0.3, 0.3]))
+        env.update_running_mean = False
+        mean_before = env.obs_rms.mean.copy()
+        env.step(np.array([0.9, 0.9]))
+        assert np.allclose(env.obs_rms.mean, mean_before)
+
+
+class TestRecordEpisodeStatistics:
+    def test_episode_info_on_termination(self):
+        class ShortEnv(ContinuousEnv):
+            def __init__(self):
+                super().__init__()
+                self.count = 0
+
+            def step(self, action):
+                self.count += 1
+                return np.zeros(2), 1.0, self.count >= 4, False, {}
+
+        env = RecordEpisodeStatistics(ShortEnv())
+        env.reset()
+        infos = [env.step(np.zeros(2))[4] for _ in range(4)]
+        assert "episode" not in infos[0]
+        assert infos[-1]["episode"] == {"r": 4.0, "l": 4}
+        assert list(env.return_queue) == [4.0]

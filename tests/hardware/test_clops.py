@@ -1,0 +1,48 @@
+"""Unit tests for the CLOPS execution-time model (Eq. 3)."""
+
+import math
+
+import pytest
+
+from repro.hardware.clops import clops_execution_time, log2_quantum_volume
+
+
+class TestLog2QV:
+    def test_values(self):
+        assert log2_quantum_volume(128) == 7
+        assert math.isclose(log2_quantum_volume(127), math.log2(127))
+        assert log2_quantum_volume(32) == 5
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            log2_quantum_volume(1)
+        with pytest.raises(ValueError):
+            log2_quantum_volume(0)
+
+
+class TestExecutionTime:
+    def test_paper_worked_example(self):
+        # §6.1: M=100, K=10, S=40,000, D=7 layers, CLOPS=220,000 → ≈ 21 minutes.
+        tau = clops_execution_time(
+            shots=40_000, clops=220_000, quantum_volume=128, num_templates=100, num_updates=10
+        )
+        assert tau == pytest.approx(100 * 10 * 40_000 * 7 / 220_000)
+        assert tau / 60 == pytest.approx(21.2, abs=0.2)
+
+    def test_scales_linearly_with_shots(self):
+        t1 = clops_execution_time(10_000, clops=30_000)
+        t2 = clops_execution_time(20_000, clops=30_000)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_inverse_in_clops(self):
+        slow = clops_execution_time(10_000, clops=30_000)
+        fast = clops_execution_time(10_000, clops=220_000)
+        assert slow / fast == pytest.approx(220_000 / 30_000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clops_execution_time(0, clops=1000)
+        with pytest.raises(ValueError):
+            clops_execution_time(100, clops=0)
+        with pytest.raises(ValueError):
+            clops_execution_time(100, clops=1000, num_templates=0)

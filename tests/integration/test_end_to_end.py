@@ -1,0 +1,91 @@
+"""End-to-end integration tests: full pipeline including a trained RL policy."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import run_case_study
+from repro.analysis.reporting import format_table2
+from repro.cloud.config import SimulationConfig
+from repro.cloud.environment import QCloudSimEnv
+from repro.cloud.io import jobs_from_csv, jobs_to_csv
+from repro.rlenv.train import train_allocation_policy
+from repro.scheduling.rl_policy import RLAllocationPolicy
+from repro.workloads import ghz_sweep_jobs, mixed_tenant_jobs
+
+
+@pytest.fixture(scope="module")
+def rl_model():
+    model, _ = train_allocation_policy(total_timesteps=2048, n_steps=512, seed=1)
+    return model
+
+
+class TestFourStrategyCaseStudy:
+    @pytest.fixture(scope="class")
+    def result(self, rl_model):
+        cfg = SimulationConfig(num_jobs=40, seed=21)
+        return run_case_study(cfg, rl_model=rl_model)
+
+    def test_all_four_strategies_complete(self, result):
+        assert set(result.summaries) == {"speed", "fidelity", "fair", "rlbase"}
+        for records in result.records.values():
+            assert len(records) == 40
+
+    def test_fidelity_strategy_has_best_fidelity_and_least_comm(self, result):
+        best = max(result.summaries.values(), key=lambda s: s.mean_fidelity)
+        least_comm = min(result.summaries.values(), key=lambda s: s.total_communication_time)
+        assert best.strategy == "fidelity"
+        assert least_comm.strategy == "fidelity"
+
+    def test_rl_strategy_uses_most_devices(self, result):
+        devices_per_job = {
+            name: summary.mean_devices_per_job for name, summary in result.summaries.items()
+        }
+        assert devices_per_job["rlbase"] == max(devices_per_job.values())
+        assert result.summaries["rlbase"].total_communication_time == max(
+            s.total_communication_time for s in result.summaries.values()
+        )
+
+    def test_table2_rendering(self, result):
+        table = format_table2(result.summaries)
+        for name in ("speed", "fidelity", "fair", "rlbase"):
+            assert name in table
+
+
+class TestAlternativeWorkloads:
+    def test_ghz_sweep_end_to_end(self):
+        cfg = SimulationConfig(num_jobs=1, seed=0)  # devices/communication config only
+        env = QCloudSimEnv(cfg, jobs=ghz_sweep_jobs(widths=[130, 170, 210]), policy=None)
+        records = env.run_until_complete()
+        assert len(records) == 3
+        # Wider GHZ states have more two-qubit gates and hence lower fidelity.
+        fidelities = {r.num_qubits: r.fidelity for r in records}
+        assert fidelities[210] < fidelities[130]
+
+    def test_mixed_tenant_poisson_trace(self):
+        cfg = SimulationConfig(num_jobs=1, seed=0, policy="fair")
+        env = QCloudSimEnv(cfg, jobs=mixed_tenant_jobs(num_jobs=15, seed=4))
+        records = env.run_until_complete()
+        assert len(records) == 15
+        assert all(r.start_time >= r.arrival_time for r in records)
+
+    def test_csv_workload_roundtrip_through_simulation(self, tmp_path):
+        jobs = ghz_sweep_jobs(widths=[140, 180])
+        path = str(tmp_path / "workload.csv")
+        jobs_to_csv(jobs, path)
+        loaded = jobs_from_csv(path)
+        cfg = SimulationConfig(num_jobs=1, seed=0)
+        env = QCloudSimEnv(cfg, jobs=loaded)
+        records = env.run_until_complete()
+        assert len(records) == 2
+
+
+class TestRLDeploymentConsistency:
+    def test_rl_policy_respects_capacity_in_simulation(self, rl_model):
+        cfg = SimulationConfig(num_jobs=20, seed=31)
+        env = QCloudSimEnv(cfg, policy=RLAllocationPolicy(rl_model))
+        records = env.run_until_complete()
+        assert len(records) == 20
+        for record in records:
+            assert sum(record.allocation) == record.num_qubits
+            assert all(0 < a <= 127 for a in record.allocation)
+        assert env.cloud.free_qubits == env.cloud.total_qubits

@@ -1,0 +1,59 @@
+"""Smoke tests: every example script must run end-to-end.
+
+The examples are part of the public deliverable; these tests execute them as
+subprocesses (with small workloads) so that API drift breaks the build
+rather than the documentation.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(script: str, *args: str, cwd=None) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=cwd,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py", "5")
+        assert result.returncode == 0, result.stderr
+        assert "Summary (one row of Table 2)" in result.stdout
+        assert "fidelity" in result.stdout
+
+    def test_compare_strategies(self):
+        result = run_example("compare_strategies.py", "12")
+        assert result.returncode == 0, result.stderr
+        assert "Table 2 (reproduced, scaled workload)" in result.stdout
+        assert "speed" in result.stdout and "fidelity" in result.stdout
+        assert "highest mean fidelity" in result.stdout
+
+    def test_train_rl_scheduler(self, tmp_path):
+        model_path = str(tmp_path / "policy.npz")
+        result = run_example("train_rl_scheduler.py", "1024", model_path, cwd=tmp_path)
+        assert result.returncode == 0, result.stderr
+        assert "Training curve (Fig. 5)" in result.stdout
+        assert "Deployment in the discrete-event simulator" in result.stdout
+        assert Path(model_path).exists()
+
+    def test_custom_policy(self):
+        result = run_example("custom_policy.py", "20")
+        assert result.returncode == 0, result.stderr
+        assert "size_aware" in result.stdout
+
+    def test_csv_workload(self, tmp_path):
+        result = run_example("csv_workload.py", str(tmp_path))
+        assert result.returncode == 0, result.stderr
+        assert (tmp_path / "ghz_sweep.csv").exists()
+        assert (tmp_path / "qaoa_portfolio.json").exists()
+        assert "Workload summaries" in result.stdout

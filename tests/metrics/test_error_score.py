@@ -1,0 +1,73 @@
+"""Unit tests for the error-score formula (Eq. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.calibration import CalibrationData, GateCalibration, QubitCalibration
+from repro.metrics.error_score import (
+    DEFAULT_WEIGHTS,
+    ErrorScoreWeights,
+    error_score,
+    error_score_from_averages,
+)
+
+
+class TestWeights:
+    def test_paper_defaults(self):
+        assert DEFAULT_WEIGHTS.alpha == 0.5
+        assert DEFAULT_WEIGHTS.theta == 0.3
+        assert DEFAULT_WEIGHTS.gamma == 0.2
+        assert DEFAULT_WEIGHTS.total == pytest.approx(1.0)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorScoreWeights(alpha=-0.1)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorScoreWeights(0.0, 0.0, 0.0)
+
+
+class TestFromAverages:
+    def test_hand_computed_value(self):
+        score = error_score_from_averages(0.02, 0.0003, 0.008)
+        assert score == pytest.approx(0.5 * 0.02 + 0.3 * 0.0003 + 0.2 * 0.008)
+
+    def test_readout_weighted_highest(self):
+        # Raising the readout error by delta must move the score more than
+        # raising either gate error by the same delta.
+        base = error_score_from_averages(0.01, 0.001, 0.005)
+        d_read = error_score_from_averages(0.02, 0.001, 0.005) - base
+        d_1q = error_score_from_averages(0.01, 0.011, 0.005) - base
+        d_2q = error_score_from_averages(0.01, 0.001, 0.015) - base
+        assert d_read > d_1q > d_2q
+
+    def test_monotone_in_each_input(self):
+        base = error_score_from_averages(0.01, 0.001, 0.005)
+        assert error_score_from_averages(0.02, 0.001, 0.005) > base
+        assert error_score_from_averages(0.01, 0.002, 0.005) > base
+        assert error_score_from_averages(0.01, 0.001, 0.006) > base
+
+    def test_custom_weights(self):
+        score = error_score_from_averages(0.02, 0.0003, 0.008, alpha=1.0, theta=0.0, gamma=0.0)
+        assert score == pytest.approx(0.02)
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            error_score_from_averages(1.5, 0.001, 0.005)
+
+
+class TestFromCalibration:
+    def test_matches_manual_average(self):
+        qubits = [
+            QubitCalibration(0, 200, 150, readout_error=0.01, single_qubit_error=2e-4),
+            QubitCalibration(1, 200, 150, readout_error=0.03, single_qubit_error=4e-4),
+        ]
+        gates = [GateCalibration((0, 1), error=0.006), GateCalibration((1, 0), error=0.010)]
+        cal = CalibrationData(qubits=qubits, gates=gates)
+        expected = 0.5 * 0.02 + 0.3 * 3e-4 + 0.2 * 0.008
+        assert error_score(cal) == pytest.approx(expected)
+
+    def test_score_in_unit_interval_for_fleet(self, default_fleet):
+        for profile in default_fleet:
+            assert 0.0 <= error_score(profile.calibration) <= 1.0

@@ -1,0 +1,43 @@
+"""Unit tests for the timing models (Eq. 3 and Eq. 9)."""
+
+import pytest
+
+from repro.metrics.timing import (
+    DEFAULT_COMM_LATENCY_PER_QUBIT,
+    communication_time,
+    execution_time,
+    processing_time_minutes,
+)
+
+
+class TestExecutionTime:
+    def test_paper_worked_example(self):
+        # §6.1: M=100, K=10, S=40,000, D=7 (QV=128), CLOPS=220,000 → ≈21 min.
+        minutes = execution_time(shots=40_000, clops=220_000, quantum_volume=128) / 60
+        assert minutes == pytest.approx(21.2, abs=0.2)
+
+    def test_minutes_variant_divides_by_60(self):
+        secs = execution_time(shots=20_000, clops=30_000)
+        mins = processing_time_minutes(shots=20_000, clops=30_000)
+        assert mins == pytest.approx(secs / 60)
+
+    def test_faster_device_shorter_time(self):
+        assert execution_time(10_000, clops=220_000) < execution_time(10_000, clops=29_000)
+
+
+class TestCommunicationTime:
+    def test_default_latency(self):
+        assert DEFAULT_COMM_LATENCY_PER_QUBIT == 0.02
+
+    def test_formula(self):
+        assert communication_time(190) == pytest.approx(3.8)
+        assert communication_time(0) == 0.0
+
+    def test_custom_latency(self):
+        assert communication_time(100, latency_per_qubit=0.05) == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            communication_time(-1)
+        with pytest.raises(ValueError):
+            communication_time(10, latency_per_qubit=-0.1)

@@ -1,0 +1,149 @@
+"""Unit tests for the rollout buffer and GAE computation."""
+
+import numpy as np
+import pytest
+
+from repro.rl.buffers import RolloutBuffer
+
+
+def reference_gae(rewards, values, episode_starts, last_value, done, gamma, lam):
+    """Brute-force GAE reference implementation."""
+    n = len(rewards)
+    advantages = np.zeros(n)
+    last_gae = 0.0
+    for t in reversed(range(n)):
+        if t == n - 1:
+            non_terminal = 1.0 - float(done)
+            next_value = last_value
+        else:
+            non_terminal = 1.0 - episode_starts[t + 1]
+            next_value = values[t + 1]
+        delta = rewards[t] + gamma * next_value * non_terminal - values[t]
+        last_gae = delta + gamma * lam * non_terminal * last_gae
+        advantages[t] = last_gae
+    return advantages
+
+
+def fill_buffer(buffer, rng, episode_length=None):
+    for i in range(buffer.buffer_size):
+        episode_start = (i % episode_length == 0) if episode_length else (i == 0)
+        buffer.add(
+            obs=rng.standard_normal(buffer.obs_dim),
+            action=rng.standard_normal(buffer.action_dim),
+            reward=float(rng.normal()),
+            episode_start=episode_start,
+            value=float(rng.normal()),
+            log_prob=float(rng.normal()),
+        )
+
+
+class TestValidation:
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            RolloutBuffer(0, 2, 1)
+        with pytest.raises(ValueError):
+            RolloutBuffer(4, 2, 1, gamma=1.5)
+        with pytest.raises(ValueError):
+            RolloutBuffer(4, 2, 1, gae_lambda=-0.1)
+
+    def test_add_beyond_capacity_raises(self, rng):
+        buffer = RolloutBuffer(2, 3, 1)
+        fill_buffer(buffer, rng)
+        with pytest.raises(RuntimeError):
+            buffer.add(np.zeros(3), np.zeros(1), 0.0, False, 0.0, 0.0)
+
+    def test_get_before_full_raises(self):
+        buffer = RolloutBuffer(4, 2, 1)
+        with pytest.raises(RuntimeError):
+            list(buffer.get(2))
+        with pytest.raises(RuntimeError):
+            buffer.compute_returns_and_advantage(0.0, False)
+
+
+class TestGAE:
+    @pytest.mark.parametrize("gamma,lam", [(0.99, 0.95), (0.9, 1.0), (1.0, 0.5), (0.5, 0.0)])
+    def test_matches_reference(self, gamma, lam, rng):
+        buffer = RolloutBuffer(32, 4, 2, gamma=gamma, gae_lambda=lam)
+        fill_buffer(buffer, rng, episode_length=8)
+        last_value, done = 0.37, False
+        buffer.compute_returns_and_advantage(last_value, done)
+        expected = reference_gae(
+            buffer.rewards, buffer.values, buffer.episode_starts, last_value, done, gamma, lam
+        )
+        assert np.allclose(buffer.advantages, expected)
+        assert np.allclose(buffer.returns, expected + buffer.values)
+
+    def test_single_step_episodes_are_montecarlo(self, rng):
+        # With every step starting a new episode (the paper's single-step MDP),
+        # the advantage reduces to reward - value and the return to the reward.
+        buffer = RolloutBuffer(16, 3, 2, gamma=0.99, gae_lambda=0.95)
+        for i in range(16):
+            buffer.add(
+                obs=rng.standard_normal(3),
+                action=rng.standard_normal(2),
+                reward=float(i),
+                episode_start=True,
+                value=0.5,
+                log_prob=0.0,
+            )
+        buffer.compute_returns_and_advantage(last_value=10.0, done=True)
+        assert np.allclose(buffer.returns, np.arange(16, dtype=float))
+        assert np.allclose(buffer.advantages, np.arange(16, dtype=float) - 0.5)
+
+    def test_gae_lambda_zero_is_td_error(self, rng):
+        buffer = RolloutBuffer(8, 2, 1, gamma=0.9, gae_lambda=0.0)
+        fill_buffer(buffer, rng)
+        buffer.compute_returns_and_advantage(0.2, False)
+        rewards, values = buffer.rewards, buffer.values
+        next_values = np.append(values[1:], 0.2)
+        deltas = rewards + 0.9 * next_values - values
+        assert np.allclose(buffer.advantages, deltas)
+
+
+class TestMinibatches:
+    def test_batches_cover_everything_once(self, rng):
+        buffer = RolloutBuffer(64, 3, 2)
+        fill_buffer(buffer, rng)
+        buffer.compute_returns_and_advantage(0.0, True)
+        seen = []
+        for batch in buffer.get(16, rng=np.random.default_rng(0)):
+            assert batch["observations"].shape == (16, 3)
+            seen.append(batch["observations"])
+        stacked = np.concatenate(seen)
+        assert stacked.shape == (64, 3)
+        # Every original observation appears exactly once.
+        original = buffer.observations[np.lexsort(buffer.observations.T)]
+        shuffled = stacked[np.lexsort(stacked.T)]
+        assert np.allclose(original, shuffled)
+
+    def test_batch_size_larger_than_buffer(self, rng):
+        buffer = RolloutBuffer(8, 2, 1)
+        fill_buffer(buffer, rng)
+        buffer.compute_returns_and_advantage(0.0, True)
+        batches = list(buffer.get(1000))
+        assert len(batches) == 1
+        assert batches[0]["observations"].shape == (8, 2)
+
+    def test_reset_clears_position(self, rng):
+        buffer = RolloutBuffer(4, 2, 1)
+        fill_buffer(buffer, rng)
+        assert len(buffer) == 4
+        buffer.reset()
+        assert len(buffer) == 0
+        assert not buffer.full
+
+
+class TestExplainedVariance:
+    def test_perfect_predictions(self, rng):
+        buffer = RolloutBuffer(8, 2, 1, gamma=0.0, gae_lambda=0.0)
+        for i in range(8):
+            buffer.add(np.zeros(2), np.zeros(1), float(i), True, float(i), 0.0)
+        buffer.compute_returns_and_advantage(0.0, True)
+        assert np.isclose(buffer.explained_variance(), 1.0)
+
+    def test_constant_returns_gives_nan(self, rng):
+        buffer = RolloutBuffer(4, 2, 1, gamma=0.0)
+        for _ in range(4):
+            buffer.add(np.zeros(2), np.zeros(1), 1.0, True, 0.3, 0.0)
+        buffer.compute_returns_and_advantage(0.0, True)
+        assert np.isnan(buffer.explained_variance())

@@ -1,0 +1,142 @@
+"""Unit tests for the action distributions (values and analytic gradients)."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.rl.distributions import Categorical, DiagGaussian
+
+
+class TestDiagGaussian:
+    def test_log_prob_matches_scipy(self, rng):
+        mean = rng.standard_normal((6, 3))
+        log_std = np.array([0.1, -0.5, 0.3])
+        dist = DiagGaussian(mean, log_std)
+        actions = rng.standard_normal((6, 3))
+        expected = stats.norm.logpdf(actions, loc=mean, scale=np.exp(log_std)).sum(axis=1)
+        assert np.allclose(dist.log_prob(actions), expected)
+
+    def test_entropy_matches_closed_form(self):
+        log_std = np.array([0.0, 0.5, -1.0])
+        dist = DiagGaussian(np.zeros((2, 3)), log_std)
+        expected = np.sum(log_std + 0.5 * np.log(2 * np.pi * np.e))
+        assert np.allclose(dist.entropy(), expected)
+
+    def test_unit_gaussian_entropy_is_about_7_for_5_dims(self):
+        # The paper's Fig. 5 entropy loss starts near -7: that is exactly the
+        # (negative) entropy of a 5-dim unit Gaussian policy at initialisation.
+        dist = DiagGaussian(np.zeros((1, 5)), np.zeros(5))
+        assert np.isclose(dist.entropy()[0], 7.0947, atol=1e-3)
+
+    def test_sampling_statistics(self, rng):
+        mean = np.tile(np.array([1.0, -2.0]), (20000, 1))
+        dist = DiagGaussian(mean, np.log([0.5, 2.0]))
+        samples = dist.sample(rng)
+        assert np.allclose(samples.mean(axis=0), [1.0, -2.0], atol=0.05)
+        assert np.allclose(samples.std(axis=0), [0.5, 2.0], atol=0.05)
+
+    def test_mode_is_mean(self):
+        mean = np.array([[3.0, 4.0]])
+        dist = DiagGaussian(mean, np.zeros(2))
+        assert np.allclose(dist.mode(), mean)
+
+    def test_log_prob_grads_match_finite_differences(self, rng):
+        mean = rng.standard_normal((4, 3))
+        log_std = rng.standard_normal(3) * 0.3
+        actions = rng.standard_normal((4, 3))
+        dist = DiagGaussian(mean, log_std)
+        d_mean, d_log_std = dist.log_prob_grads(actions)
+
+        eps = 1e-6
+        for i in range(4):
+            for j in range(3):
+                mp, mm = mean.copy(), mean.copy()
+                mp[i, j] += eps
+                mm[i, j] -= eps
+                fp = DiagGaussian(mp, log_std).log_prob(actions)[i]
+                fm = DiagGaussian(mm, log_std).log_prob(actions)[i]
+                assert np.isclose(d_mean[i, j], (fp - fm) / (2 * eps), rtol=1e-4, atol=1e-6)
+
+        for j in range(3):
+            lp, lm = log_std.copy(), log_std.copy()
+            lp[j] += eps
+            lm[j] -= eps
+            fp = DiagGaussian(mean, lp).log_prob(actions)
+            fm = DiagGaussian(mean, lm).log_prob(actions)
+            numeric = (fp - fm) / (2 * eps)
+            assert np.allclose(d_log_std[:, j], numeric, rtol=1e-4, atol=1e-6)
+
+    def test_kl_divergence_zero_for_identical(self):
+        dist = DiagGaussian(np.ones((3, 2)), np.zeros(2))
+        other = DiagGaussian(np.ones((3, 2)), np.zeros(2))
+        assert np.allclose(dist.kl_divergence(other), 0.0)
+
+    def test_kl_divergence_positive(self, rng):
+        d1 = DiagGaussian(rng.standard_normal((5, 2)), np.zeros(2))
+        d2 = DiagGaussian(rng.standard_normal((5, 2)), np.array([0.3, -0.2]))
+        assert np.all(d1.kl_divergence(d2) >= 0)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            DiagGaussian(np.zeros((2, 3)), np.zeros(2))
+
+
+class TestCategorical:
+    def test_probs_normalised(self, rng):
+        dist = Categorical(rng.standard_normal((7, 4)))
+        assert np.allclose(dist.probs.sum(axis=1), 1.0)
+        assert np.all(dist.probs >= 0)
+
+    def test_log_prob_consistent_with_probs(self, rng):
+        dist = Categorical(rng.standard_normal((5, 3)))
+        actions = np.array([0, 1, 2, 1, 0])
+        expected = np.log(dist.probs[np.arange(5), actions])
+        assert np.allclose(dist.log_prob(actions), expected)
+
+    def test_entropy_bounds(self, rng):
+        dist = Categorical(rng.standard_normal((10, 6)))
+        ent = dist.entropy()
+        assert np.all(ent >= 0)
+        assert np.all(ent <= np.log(6) + 1e-12)
+
+    def test_uniform_entropy_is_log_n(self):
+        dist = Categorical(np.zeros((1, 8)))
+        assert np.isclose(dist.entropy()[0], np.log(8))
+
+    def test_sampling_frequencies(self, rng):
+        logits = np.log(np.array([[0.7, 0.2, 0.1]]))
+        dist = Categorical(np.tile(logits, (20000, 1)))
+        samples = dist.sample(rng)
+        freqs = np.bincount(samples, minlength=3) / len(samples)
+        assert np.allclose(freqs, [0.7, 0.2, 0.1], atol=0.02)
+
+    def test_mode(self):
+        dist = Categorical(np.array([[0.1, 5.0, 0.3], [2.0, 0.0, -1.0]]))
+        assert list(dist.mode()) == [1, 0]
+
+    def test_log_prob_grad_matches_finite_differences(self, rng):
+        logits = rng.standard_normal((3, 4))
+        actions = np.array([1, 3, 0])
+        grad = Categorical(logits).log_prob_grad_logits(actions)
+        eps = 1e-6
+        for i in range(3):
+            for j in range(4):
+                lp, lm = logits.copy(), logits.copy()
+                lp[i, j] += eps
+                lm[i, j] -= eps
+                fp = Categorical(lp).log_prob(actions)[i]
+                fm = Categorical(lm).log_prob(actions)[i]
+                assert np.isclose(grad[i, j], (fp - fm) / (2 * eps), rtol=1e-4, atol=1e-6)
+
+    def test_entropy_grad_matches_finite_differences(self, rng):
+        logits = rng.standard_normal((2, 5))
+        grad = Categorical(logits).entropy_grad_logits()
+        eps = 1e-6
+        for i in range(2):
+            for j in range(5):
+                lp, lm = logits.copy(), logits.copy()
+                lp[i, j] += eps
+                lm[i, j] -= eps
+                fp = Categorical(lp).entropy()[i]
+                fm = Categorical(lm).entropy()[i]
+                assert np.isclose(grad[i, j], (fp - fm) / (2 * eps), rtol=1e-4, atol=1e-6)

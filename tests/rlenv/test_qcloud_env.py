@@ -1,0 +1,130 @@
+"""Unit tests for the QCloudGymEnv allocation MDP (§4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.gymapi.spaces import Box
+from repro.hardware.backends import build_default_fleet
+from repro.metrics.fidelity import communication_penalty
+from repro.rlenv.qcloud_env import QCloudGymEnv
+
+
+@pytest.fixture
+def qenv(default_fleet):
+    return QCloudGymEnv(devices=default_fleet, seed=0)
+
+
+class TestSpaces:
+    def test_observation_space_is_16_dimensional(self, qenv):
+        assert isinstance(qenv.observation_space, Box)
+        assert qenv.observation_space.shape == (16,)
+
+    def test_action_space_is_5_dimensional(self, qenv):
+        assert isinstance(qenv.action_space, Box)
+        assert qenv.action_space.shape == (5,)
+
+    def test_too_many_devices_rejected(self, default_fleet):
+        with pytest.raises(ValueError):
+            QCloudGymEnv(devices=list(default_fleet) * 2)
+
+    def test_qubit_range_must_fit_fleet(self, default_fleet):
+        with pytest.raises(ValueError):
+            QCloudGymEnv(devices=default_fleet, qubit_range=(100, 10_000))
+
+
+class TestReset:
+    def test_reset_returns_valid_observation(self, qenv):
+        obs, info = qenv.reset(seed=1)
+        assert obs.shape == (16,)
+        assert qenv.observation_space.contains(obs.astype(np.float64))
+        assert 130 <= info["job_qubits"] <= 250
+        assert 5 <= info["job_depth"] <= 20
+        assert info["free_levels"].sum() >= info["job_qubits"]
+
+    def test_seeded_reset_reproducible(self, default_fleet):
+        e1 = QCloudGymEnv(devices=default_fleet)
+        e2 = QCloudGymEnv(devices=default_fleet)
+        o1, i1 = e1.reset(seed=7)
+        o2, i2 = e2.reset(seed=7)
+        assert np.allclose(o1, o2)
+        assert i1["job_qubits"] == i2["job_qubits"]
+
+    def test_fixed_utilization_mode(self, default_fleet):
+        env = QCloudGymEnv(devices=default_fleet, randomize_utilization=False)
+        _, info = env.reset(seed=0)
+        assert np.all(info["free_levels"] == 127)
+
+
+class TestStep:
+    def test_single_step_episode(self, qenv):
+        qenv.reset(seed=2)
+        obs, reward, terminated, truncated, info = qenv.step(np.ones(5))
+        assert terminated is True
+        assert truncated is False
+        assert 0.0 < reward <= 1.0
+        assert sum(info["allocation"]) == info["job_qubits"]
+
+    def test_step_before_reset_raises(self, default_fleet):
+        env = QCloudGymEnv(devices=default_fleet)
+        with pytest.raises(RuntimeError):
+            env.step(np.ones(5))
+
+    def test_reward_is_mean_device_fidelity(self, qenv):
+        qenv.reset(seed=3)
+        _, reward, _, _, info = qenv.step(np.ones(5))
+        assert reward == pytest.approx(np.mean(info["device_fidelities"]))
+
+    def test_allocation_respects_free_levels(self, qenv):
+        _, info = qenv.reset(seed=4)
+        free = info["free_levels"]
+        _, _, _, _, step_info = qenv.step(np.array([5.0, 0.1, 0.1, 0.1, 0.1]))
+        assert all(a <= f for a, f in zip(step_info["allocation"], free))
+
+    def test_concentrated_action_uses_fewer_devices(self, qenv):
+        qenv.reset(seed=5)
+        _, _, _, _, spread_info = qenv.step(np.ones(5))
+        qenv.reset(seed=5)
+        _, _, _, _, conc_info = qenv.step(np.array([10.0, 10.0, 0.0, 0.0, 0.0]))
+        assert conc_info["num_devices"] <= spread_info["num_devices"]
+
+    def test_communication_aware_reward_penalised(self, default_fleet):
+        base = QCloudGymEnv(devices=default_fleet, randomize_utilization=False)
+        shaped = QCloudGymEnv(
+            devices=default_fleet, randomize_utilization=False, communication_aware=True
+        )
+        base.reset(seed=9)
+        shaped.reset(seed=9)
+        action = np.ones(5)
+        _, r_base, _, _, info_base = base.step(action)
+        _, r_shaped, _, _, info_shaped = shaped.step(action)
+        assert info_base["allocation"] == info_shaped["allocation"]
+        k = info_base["num_devices"]
+        assert r_shaped == pytest.approx(r_base * communication_penalty(k))
+
+    def test_two_qubit_errors_optionally_suppressed(self, default_fleet):
+        with_2q = QCloudGymEnv(devices=default_fleet, randomize_utilization=False)
+        without_2q = QCloudGymEnv(
+            devices=default_fleet, randomize_utilization=False, include_two_qubit_errors=False
+        )
+        with_2q.reset(seed=11)
+        without_2q.reset(seed=11)
+        _, r_with, _, _, _ = with_2q.step(np.ones(5))
+        _, r_without, _, _, _ = without_2q.step(np.ones(5))
+        assert r_without > r_with
+
+    def test_better_devices_yield_higher_fidelity(self, default_fleet):
+        env = QCloudGymEnv(devices=default_fleet, randomize_utilization=False)
+        env.reset(seed=13)
+        scores = env._error_scores
+        best_two = np.argsort(scores)[:2]
+        worst_two = np.argsort(scores)[-2:]
+
+        def one_hot_pair(indices):
+            w = np.zeros(5)
+            w[list(indices)] = 1.0
+            return w
+
+        _, r_best, _, _, _ = env.step(one_hot_pair(best_two))
+        env.reset(seed=13)
+        _, r_worst, _, _, _ = env.step(one_hot_pair(worst_two))
+        assert r_best > r_worst

@@ -1,0 +1,58 @@
+"""Unit tests for the baseline policies (random, round-robin, even-split)."""
+
+import pytest
+
+from repro.scheduling.baselines import EvenSplitPolicy, RandomPolicy, RoundRobinPolicy
+
+from tests.scheduling.test_base import FakeDevice
+from tests.scheduling.test_policies import Job, fleet
+
+
+class TestRandomPolicy:
+    def test_valid_allocation(self):
+        plan = RandomPolicy(seed=0).plan(Job(190), fleet())
+        assert plan.total_qubits == 190
+
+    def test_seeded_reproducibility(self):
+        p1 = RandomPolicy(seed=5).plan(Job(190), fleet())
+        p2 = RandomPolicy(seed=5).plan(Job(190), fleet())
+        assert p1.device_names == p2.device_names
+
+    def test_order_varies_across_draws(self):
+        policy = RandomPolicy(seed=1)
+        orders = {tuple(policy.plan(Job(190), fleet()).device_names) for _ in range(20)}
+        assert len(orders) > 1
+
+
+class TestRoundRobinPolicy:
+    def test_rotates_starting_device(self):
+        policy = RoundRobinPolicy()
+        first = policy.plan(Job(150), fleet()).device_names[0]
+        second = policy.plan(Job(150), fleet()).device_names[0]
+        third = policy.plan(Job(150), fleet()).device_names[0]
+        assert first != second or second != third
+
+    def test_offset_not_advanced_when_infeasible(self):
+        policy = RoundRobinPolicy()
+        devices = fleet(frees=(0, 0, 0, 0, 0))
+        assert policy.plan(Job(100), devices) is None
+        assert policy._offset == 0
+
+    def test_empty_fleet(self):
+        assert RoundRobinPolicy().plan(Job(10), []) is None
+
+
+class TestEvenSplitPolicy:
+    def test_spreads_over_all_free_devices(self):
+        plan = EvenSplitPolicy().plan(Job(200), fleet())
+        assert plan.num_devices == 5
+        assert max(plan.qubit_counts) - min(plan.qubit_counts) <= 1
+
+    def test_skips_full_devices(self):
+        devices = fleet(frees=(0, 127, 127, 127, 0))
+        plan = EvenSplitPolicy().plan(Job(150), devices)
+        assert plan.num_devices == 3
+        assert "ibm_strasbourg" not in plan.device_names
+
+    def test_infeasible(self):
+        assert EvenSplitPolicy().plan(Job(700), fleet()) is None

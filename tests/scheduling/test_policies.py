@@ -1,0 +1,125 @@
+"""Unit tests for the paper's three heuristic policies (speed, fidelity, fair)."""
+
+import pytest
+
+from repro.metrics.error_score import ErrorScoreWeights
+from repro.scheduling.error_aware import ErrorAwarePolicy
+from repro.scheduling.fair import FairPolicy
+from repro.scheduling.speed import SpeedPolicy
+
+from tests.scheduling.test_base import FakeDevice
+
+
+class Job:
+    def __init__(self, q):
+        self.num_qubits = q
+
+
+def fleet(frees=(127, 127, 127, 127, 127)):
+    """Five fake devices mirroring the paper's fleet (CLOPS and error ranking)."""
+    specs = [
+        ("ibm_strasbourg", 220_000, 0.011),
+        ("ibm_brussels", 220_000, 0.012),
+        ("ibm_kyiv", 30_000, 0.009),
+        ("ibm_quebec", 32_000, 0.010),
+        ("ibm_kawasaki", 29_000, 0.014),
+    ]
+    return [
+        FakeDevice(name, free, capacity=127, clops=clops, score=score)
+        for (name, clops, score), free in zip(specs, frees)
+    ]
+
+
+class TestSpeedPolicy:
+    def test_prefers_highest_clops(self):
+        plan = SpeedPolicy().plan(Job(190), fleet())
+        assert plan.device_names[:2] == ["ibm_brussels", "ibm_strasbourg"] or plan.device_names[
+            :2
+        ] == ["ibm_strasbourg", "ibm_brussels"]
+        assert plan.total_qubits == 190
+        assert plan.num_devices == 2
+
+    def test_spills_to_slower_devices_when_fast_ones_busy(self):
+        devices = fleet(frees=(10, 20, 127, 127, 127))
+        plan = SpeedPolicy().plan(Job(190), devices)
+        assert plan.total_qubits == 190
+        assert plan.num_devices >= 3
+        # Fast devices appear first even though they are nearly full.
+        assert plan.device_names[0] in ("ibm_strasbourg", "ibm_brussels")
+
+    def test_returns_none_when_cloud_full(self):
+        devices = fleet(frees=(10, 10, 10, 10, 10))
+        assert SpeedPolicy().plan(Job(190), devices) is None
+
+    def test_prefer_idle_tiebreak(self):
+        devices = fleet(frees=(60, 127, 127, 127, 127))
+        plan = SpeedPolicy(prefer_idle=True).plan(Job(100), devices)
+        assert plan.device_names[0] == "ibm_brussels"
+        plan = SpeedPolicy(prefer_idle=False).plan(Job(100), devices)
+        assert plan.device_names[0] == "ibm_brussels"  # alphabetical tiebreak
+
+
+class TestErrorAwarePolicy:
+    def test_selects_lowest_error_devices(self):
+        plan = ErrorAwarePolicy().plan(Job(190), fleet())
+        assert plan.device_names == ["ibm_kyiv", "ibm_quebec"]
+        assert plan.qubit_counts == [127, 63]
+
+    def test_strict_mode_waits_for_best_devices(self):
+        # The two best devices are busy: strict mode refuses to fall back.
+        devices = fleet(frees=(127, 127, 30, 30, 127))
+        assert ErrorAwarePolicy(strict=True).plan(Job(190), devices) is None
+
+    def test_non_strict_mode_falls_back(self):
+        devices = fleet(frees=(127, 127, 30, 30, 127))
+        plan = ErrorAwarePolicy(strict=False).plan(Job(190), devices)
+        assert plan is not None
+        assert plan.total_qubits == 190
+        assert plan.device_names[0] == "ibm_kyiv"
+
+    def test_custom_weights_change_ranking(self):
+        devices = [
+            FakeDevice("readout_bad", 127, score=None),
+            FakeDevice("gates_bad", 127, score=None),
+        ]
+
+        # Attach calibration-style error scores through a custom error_score.
+        def score_factory(readout, one_q, two_q):
+            def score(alpha=0.5, theta=0.3, gamma=0.2):
+                return alpha * readout + theta * one_q + gamma * two_q
+
+            return score
+
+        # readout_bad: poor readout but excellent two-qubit gates.
+        # gates_bad: good readout but poor two-qubit gates.  With the paper's
+        # default weights the two-qubit term is down-weighted enough that
+        # gates_bad still wins; a gate-heavy weighting flips the ranking.
+        devices[0].error_score = score_factory(0.05, 1e-4, 1e-3)
+        devices[1].error_score = score_factory(0.01, 1e-4, 9e-2)
+
+        default_plan = ErrorAwarePolicy().plan(Job(100), devices)
+        assert default_plan.device_names == ["gates_bad"]
+
+        gate_heavy = ErrorAwarePolicy(weights=ErrorScoreWeights(0.1, 0.1, 0.8))
+        plan = gate_heavy.plan(Job(100), devices)
+        assert plan.device_names == ["readout_bad"]
+
+    def test_job_larger_than_cloud(self):
+        assert ErrorAwarePolicy().plan(Job(10_000), fleet()) is None
+
+
+class TestFairPolicy:
+    def test_prefers_least_utilised(self):
+        devices = fleet(frees=(127, 40, 90, 127, 60))
+        plan = FairPolicy().plan(Job(190), devices)
+        # The two completely idle devices are used first.
+        assert set(plan.device_names[:2]) == {"ibm_strasbourg", "ibm_quebec"}
+        assert plan.total_qubits == 190
+
+    def test_ignores_clops_and_errors(self):
+        devices = fleet(frees=(0, 0, 127, 127, 127))
+        plan = FairPolicy().plan(Job(150), devices)
+        assert set(plan.device_names) <= {"ibm_kyiv", "ibm_quebec", "ibm_kawasaki"}
+
+    def test_returns_none_when_infeasible(self):
+        assert FairPolicy().plan(Job(700), fleet()) is None

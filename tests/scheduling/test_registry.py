@@ -1,0 +1,55 @@
+"""Unit tests for the policy registry."""
+
+import pytest
+
+from repro.scheduling.base import AllocationPolicy
+from repro.scheduling.error_aware import ErrorAwarePolicy
+from repro.scheduling.registry import available_policies, create_policy, register_policy
+from repro.scheduling.speed import SpeedPolicy
+
+
+class TestRegistry:
+    def test_paper_modes_registered(self):
+        names = available_policies()
+        for name in ("speed", "fidelity", "fair", "rlbase"):
+            assert name in names
+
+    def test_create_by_name(self):
+        assert isinstance(create_policy("speed"), SpeedPolicy)
+        assert isinstance(create_policy("fidelity"), ErrorAwarePolicy)
+        assert isinstance(create_policy("error_aware"), ErrorAwarePolicy)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            create_policy("quantum_teleport")
+
+    def test_rl_requires_model(self):
+        with pytest.raises(ValueError):
+            create_policy("rlbase")
+
+    def test_rl_with_stub_model(self):
+        class Stub:
+            def predict(self, obs, deterministic=True):
+                return [1.0] * 5, {}
+
+        policy = create_policy("rlbase", model=Stub())
+        assert policy.name == "rlbase"
+
+    def test_register_custom_policy(self):
+        class MyPolicy(AllocationPolicy):
+            name = "custom_test_policy"
+
+            def plan(self, job, devices):
+                return None
+
+        register_policy("custom_test_policy", MyPolicy)
+        assert "custom_test_policy" in available_policies()
+        assert isinstance(create_policy("custom_test_policy"), MyPolicy)
+
+    def test_register_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            register_policy("", SpeedPolicy)
+
+    def test_kwargs_forwarded(self):
+        policy = create_policy("fidelity", strict=False)
+        assert policy.strict is False

@@ -1,0 +1,108 @@
+"""Unit tests for the RL allocation policy and the shared observation builder."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.partition import validate_allocation
+from repro.scheduling.rl_policy import (
+    CLOPS_NORM,
+    DEFAULT_MAX_DEVICES,
+    DEVICE_LEVEL_NORM,
+    RLAllocationPolicy,
+    build_observation,
+)
+
+from tests.scheduling.test_base import FakeDevice
+from tests.scheduling.test_policies import Job, fleet
+
+
+class StubModel:
+    """Deterministic 'trained model' returning fixed allocation weights."""
+
+    def __init__(self, weights):
+        self.weights = np.asarray(weights, dtype=np.float64)
+        self.observations = []
+
+    def predict(self, observation, deterministic=True):
+        self.observations.append(np.asarray(observation))
+        return self.weights.copy(), {}
+
+
+class TestBuildObservation:
+    def test_dimension_matches_paper(self):
+        obs = build_observation(190, [(127, 0.01, 220_000)] * 5)
+        assert obs.shape == (1 + 3 * DEFAULT_MAX_DEVICES,)
+        assert obs.shape == (16,)
+
+    def test_layout_and_normalisation(self):
+        obs = build_observation(200, [(127, 0.013, 220_000), (60, 0.009, 30_000)], max_qubits=250)
+        assert obs[0] == pytest.approx(200 / 250)
+        assert obs[1] == pytest.approx(127 / DEVICE_LEVEL_NORM)
+        assert obs[2] == pytest.approx(0.013)
+        assert obs[3] == pytest.approx(220_000 / CLOPS_NORM)
+        assert obs[4] == pytest.approx(60 / DEVICE_LEVEL_NORM)
+        # Unused slots padded with zeros.
+        assert np.all(obs[7:] == 0.0)
+
+    def test_too_many_devices_rejected(self):
+        with pytest.raises(ValueError):
+            build_observation(100, [(10, 0.01, 1000)] * 6, max_devices=5)
+
+    def test_invalid_qubits(self):
+        with pytest.raises(ValueError):
+            build_observation(0, [])
+
+
+class TestRLAllocationPolicy:
+    def test_requires_predict(self):
+        with pytest.raises(TypeError):
+            RLAllocationPolicy(model=object())
+
+    def test_allocation_follows_weights(self):
+        model = StubModel([1.0, 1.0, 0.0, 0.0, 0.0])
+        plan = RLAllocationPolicy(model).plan(Job(200), fleet())
+        assert plan.total_qubits == 200
+        assert plan.device_names == ["ibm_strasbourg", "ibm_brussels"]
+        assert plan.qubit_counts == [100, 100]
+
+    def test_allocation_respects_free_capacity(self):
+        model = StubModel([1.0, 0.0, 0.0, 0.0, 0.0])
+        devices = fleet(frees=(50, 127, 127, 127, 127))
+        plan = RLAllocationPolicy(model).plan(Job(200), devices)
+        counts = dict(zip(plan.device_names, plan.qubit_counts))
+        assert counts["ibm_strasbourg"] <= 50
+        validate_allocation(
+            [counts.get(d.name, 0) for d in devices], 200, [d.free_qubits for d in devices]
+        )
+
+    def test_returns_none_when_insufficient_capacity(self):
+        model = StubModel(np.ones(5))
+        devices = fleet(frees=(10, 10, 10, 10, 10))
+        assert RLAllocationPolicy(model).plan(Job(200), devices) is None
+
+    def test_observation_passed_to_model_matches_builder(self):
+        model = StubModel(np.ones(5))
+        devices = fleet()
+        RLAllocationPolicy(model).plan(Job(190), devices)
+        expected = build_observation(
+            190, [(d.free_qubits, d.error_score(), d.clops) for d in devices]
+        )
+        assert np.allclose(model.observations[0], expected)
+
+    def test_uniform_weights_spread_across_all_devices(self):
+        model = StubModel(np.ones(5))
+        plan = RLAllocationPolicy(model).plan(Job(200), fleet())
+        assert plan.num_devices == 5
+
+    def test_works_with_trained_actor_critic(self):
+        from repro.gymapi.spaces import Box
+        from repro.rl.policies import ActorCriticPolicy
+
+        policy = ActorCriticPolicy(
+            Box(0.0, np.inf, shape=(16,), dtype=np.float64),
+            Box(0.0, 1.0, shape=(5,), dtype=np.float64),
+            seed=0,
+        )
+        plan = RLAllocationPolicy(policy).plan(Job(190), fleet())
+        assert plan is not None
+        assert plan.total_qubits == 190

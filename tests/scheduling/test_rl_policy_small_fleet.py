@@ -1,0 +1,49 @@
+"""RL policy behaviour with fewer devices than the observation's padded slots."""
+
+import numpy as np
+import pytest
+
+from repro.scheduling.rl_policy import RLAllocationPolicy, build_observation
+
+from tests.scheduling.test_base import FakeDevice
+from tests.scheduling.test_policies import Job
+
+
+class ConstantModel:
+    def __init__(self, weights):
+        self.weights = np.asarray(weights, dtype=np.float64)
+
+    def predict(self, observation, deterministic=True):
+        return self.weights.copy(), {}
+
+
+class TestSmallFleet:
+    def test_observation_padding_for_three_devices(self):
+        obs = build_observation(150, [(127, 0.01, 220_000)] * 3)
+        assert obs.shape == (16,)
+        assert np.all(obs[1 + 3 * 3 :] == 0.0)
+
+    def test_plan_over_three_devices(self):
+        devices = [
+            FakeDevice("a", 127, clops=200_000, score=0.010),
+            FakeDevice("b", 127, clops=100_000, score=0.011),
+            FakeDevice("c", 127, clops=50_000, score=0.012),
+        ]
+        policy = RLAllocationPolicy(ConstantModel(np.ones(5)))
+        plan = policy.plan(Job(200), devices)
+        assert plan.total_qubits == 200
+        assert plan.num_devices <= 3
+
+    def test_extra_weight_dimensions_ignored(self):
+        devices = [FakeDevice("a", 127), FakeDevice("b", 127)]
+        policy = RLAllocationPolicy(ConstantModel([0.5, 0.5, 9.0, 9.0, 9.0]))
+        plan = policy.plan(Job(150), devices)
+        assert plan.total_qubits == 150
+        assert set(plan.device_names) == {"a", "b"}
+
+    def test_more_devices_than_slots_truncated(self):
+        devices = [FakeDevice(f"d{i}", 127) for i in range(7)]
+        policy = RLAllocationPolicy(ConstantModel(np.ones(5)), max_devices=5)
+        plan = policy.plan(Job(300), devices)
+        assert plan.total_qubits == 300
+        assert set(plan.device_names) <= {f"d{i}" for i in range(5)}
