@@ -17,9 +17,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis.experiments import run_policy_simulation
+from repro.analysis.experiments import run_policy_simulation, sweep_error_score_weights
 from repro.cloud.config import SimulationConfig
-from repro.metrics.error_score import ErrorScoreWeights
 from repro.scheduling.error_aware import ErrorAwarePolicy
 from repro.scheduling.speed import SpeedPolicy
 
@@ -34,17 +33,16 @@ WEIGHT_SETS = {
 
 
 def test_ablation_error_score_weights(benchmark):
-    """Sweep (α, θ, γ) and compare against the speed baseline."""
+    """Sweep (α, θ, γ) through the experiment engine, against the speed baseline."""
     config = SimulationConfig(num_jobs=40, seed=BENCHMARK_SEED)
 
     def run():
         results = {}
         speed_summary, _ = run_policy_simulation(config.with_policy("speed"), policy=SpeedPolicy())
         results["speed baseline"] = speed_summary
-        for label, (alpha, theta, gamma) in WEIGHT_SETS.items():
-            policy = ErrorAwarePolicy(weights=ErrorScoreWeights(alpha, theta, gamma))
-            summary, _ = run_policy_simulation(config.with_policy("fidelity"), policy=policy)
-            results[label] = summary
+        by_weights = sweep_error_score_weights(list(WEIGHT_SETS.values()), config=config)
+        for label, weights in WEIGHT_SETS.items():
+            results[label] = by_weights[weights]
         return results
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -38,6 +38,45 @@ def test_des_event_throughput(benchmark):
     assert result == 10_000
 
 
+def test_des_bulk_schedule_throughput(benchmark):
+    """Cost of bulk-scheduling 10,000 absolute-time arrival markers at once."""
+    from repro.des.events import NORMAL, Event
+
+    def run():
+        env = Environment()
+
+        def make_marker():
+            marker = Event(env)
+            marker._ok = True
+            marker._value = None
+            return marker
+
+        env.schedule_batch((float(t), NORMAL, make_marker()) for t in range(10_000))
+        env.run()
+        return env.now
+
+    result = benchmark(run)
+    assert result == 9_999
+
+
+def test_experiment_runner_overhead(benchmark):
+    """Engine overhead: a 3-cell serial spec vs three bare simulations."""
+    from repro.engine import ExperimentRunner, ExperimentSpec
+
+    spec = ExperimentSpec(
+        base_config=SimulationConfig(num_jobs=10, seed=BENCHMARK_SEED),
+        strategies=("speed", "fidelity", "fair"),
+    )
+    runner = ExperimentRunner()
+
+    def run():
+        return runner.run(spec)
+
+    result = benchmark(run)
+    assert len(result) == 3
+    assert {r.cell.strategy for r in result} == {"speed", "fidelity", "fair"}
+
+
 def test_des_container_contention(benchmark):
     """Cost of 200 processes contending for a shared qubit container."""
 

@@ -7,10 +7,12 @@ prints the Table-2-style comparison and ASCII fidelity histograms
 (the textual counterpart of the paper's Fig. 6).
 
 Run:
-    python examples/compare_strategies.py [NUM_JOBS] [--with-rl]
+    python examples/compare_strategies.py [NUM_JOBS] [--with-rl] [--parallel]
 
 ``--with-rl`` trains a small PPO policy first (a few seconds) so the rlbase
 row can be included; without it only the three heuristic strategies run.
+``--parallel`` executes the strategies concurrently on the experiment
+engine's process-pool backend (results are identical to the serial run).
 """
 
 from __future__ import annotations
@@ -22,7 +24,7 @@ from repro.analysis.histogram import distribution_stats
 from repro.cloud.config import SimulationConfig
 
 
-def main(num_jobs: int = 100, with_rl: bool = False) -> None:
+def main(num_jobs: int = 100, with_rl: bool = False, parallel: bool = False) -> None:
     config = SimulationConfig(num_jobs=num_jobs, seed=2025)
 
     rl_model = None
@@ -34,8 +36,11 @@ def main(num_jobs: int = 100, with_rl: bool = False) -> None:
         rl_model, _curve = train_allocation_policy(total_timesteps=8192, n_steps=1024, seed=0)
         strategies.append("rlbase")
 
-    print(f"Running {len(strategies)} strategies x {num_jobs} jobs ...\n")
-    result = run_case_study(config, strategies=tuple(strategies), rl_model=rl_model)
+    backend = "process" if parallel else "serial"
+    print(f"Running {len(strategies)} strategies x {num_jobs} jobs ({backend} backend) ...\n")
+    result = run_case_study(
+        config, strategies=tuple(strategies), rl_model=rl_model, backend=backend
+    )
 
     print("=== Table 2 (reproduced, scaled workload) ===")
     print(format_table2(result.summaries))
@@ -64,4 +69,5 @@ if __name__ == "__main__":
     main(
         num_jobs=int(args[0]) if args else 100,
         with_rl="--with-rl" in sys.argv,
+        parallel="--parallel" in sys.argv,
     )

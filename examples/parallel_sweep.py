@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Sweep an ablation grid through the parallel experiment engine.
+
+Builds a strategy × replicate × φ (communication fidelity penalty) grid,
+executes it on the requested backend, caches every cell in a ResultStore —
+run the script twice and the second run restores all cells from cache —
+and prints the aggregated grid.
+
+Run:
+    python examples/parallel_sweep.py [NUM_JOBS] [--parallel] [--store DIR]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cloud.config import SimulationConfig
+from repro.engine import ExperimentRunner, ExperimentSpec, ResultStore
+
+
+def main(num_jobs: int = 40, parallel: bool = False, store_dir: str | None = None) -> None:
+    spec = ExperimentSpec(
+        base_config=SimulationConfig(num_jobs=num_jobs, seed=2025),
+        strategies=("speed", "fidelity", "fair"),
+        replicates=2,
+        overrides=({"comm_fidelity_penalty": 0.90}, {"comm_fidelity_penalty": 0.95}),
+    )
+    runner = ExperimentRunner(
+        backend="process" if parallel else "serial",
+        store=ResultStore(store_dir) if store_dir else None,
+    )
+
+    print(f"Executing {len(spec)} grid cells on the {runner.backend} backend ...\n")
+    result = runner.run(spec)
+
+    print(f"{'phi':<6} {'strategy':<10} {'seed':>20} {'fidelity':>10} {'T_sim(s)':>12} {'cached':>7}")
+    for cell_result in result:
+        phi = cell_result.cell.config.comm_fidelity_penalty
+        s = cell_result.summary
+        print(
+            f"{phi:<6} {cell_result.cell.strategy:<10} {cell_result.cell.seed:>20} "
+            f"{s.mean_fidelity:>10.5f} {s.total_simulation_time:>12,.1f} "
+            f"{'yes' if cell_result.cached else 'no':>7}"
+        )
+
+    cached = sum(1 for r in result if r.cached)
+    print(f"\n{len(result)} cells, {cached} restored from cache")
+    if runner.store is not None:
+        path = runner.store.write_summaries_csv(result.summary_rows())
+        print(f"wrote summary rows to {path}")
+
+
+if __name__ == "__main__":
+    positional = [a for a in sys.argv[1:] if not a.startswith("--")]
+    store_dir = None
+    if "--store" in sys.argv:
+        store_dir = sys.argv[sys.argv.index("--store") + 1]
+        if store_dir in positional:
+            positional.remove(store_dir)
+    main(
+        num_jobs=int(positional[0]) if positional else 40,
+        parallel="--parallel" in sys.argv,
+        store_dir=store_dir,
+    )

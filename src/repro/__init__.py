@@ -12,9 +12,12 @@ The package is organised bottom-up:
 * **Framework** — :mod:`repro.cloud` (QCloudSimEnv, QCloud, QDevice, Broker,
   JobGenerator, JobRecordsManager) and :mod:`repro.scheduling` (the four
   allocation strategies plus baselines).
-* **Experiments** — :mod:`repro.rlenv` (the allocation MDP and PPO training),
-  :mod:`repro.workloads` (named workloads) and :mod:`repro.analysis`
-  (case-study runners, tables, histograms, training curves).
+* **Experiments** — :mod:`repro.engine` (the parallel experiment engine:
+  declarative strategy × seed × config grids, serial/process-pool execution,
+  content-keyed result caching), :mod:`repro.rlenv` (the allocation MDP and
+  PPO training), :mod:`repro.workloads` (named workloads) and
+  :mod:`repro.analysis` (case-study runners, tables, histograms, training
+  curves — all thin fronts over the engine).
 
 Quick start
 -----------
@@ -22,9 +25,17 @@ Quick start
 >>> env = QCloudSimEnv(SimulationConfig(policy="speed", num_jobs=10))
 >>> records = env.run_until_complete()
 >>> summary = env.summary()
+
+Multi-strategy / multi-seed experiments run through the engine::
+
+    from repro.engine import ExperimentRunner, ExperimentSpec
+    spec = ExperimentSpec(base_config=SimulationConfig(num_jobs=100),
+                          strategies=("speed", "fidelity", "fair"),
+                          replicates=4)
+    result = ExperimentRunner(backend="process").run(spec)
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -32,6 +43,7 @@ __all__ = [
     "circuits",
     "cloud",
     "des",
+    "engine",
     "gymapi",
     "hardware",
     "metrics",

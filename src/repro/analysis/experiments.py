@@ -9,6 +9,12 @@ data behind Fig. 6).
 The sweep helpers (:func:`sweep_communication_penalty`,
 :func:`sweep_error_score_weights`) implement the ablations called out in
 DESIGN.md.
+
+All of them are thin declarative fronts over
+:class:`~repro.engine.ExperimentRunner`: they build an experiment grid and
+delegate execution, so every entry point transparently supports the serial
+and process-pool backends and result-store caching (pass ``runner=`` or
+``backend=``/``max_workers=``).
 """
 
 from __future__ import annotations
@@ -17,13 +23,11 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.cloud.config import SimulationConfig
-from repro.cloud.environment import QCloudSimEnv
-from repro.cloud.job_generator import generate_synthetic_jobs
 from repro.cloud.qjob import QJob
 from repro.cloud.records import JobRecord
-from repro.metrics.aggregate import StrategySummary, summarize_records
+from repro.engine import ExperimentCell, ExperimentRunner, ExperimentSpec, PolicySpec
+from repro.metrics.aggregate import StrategySummary
 from repro.metrics.error_score import ErrorScoreWeights
-from repro.scheduling.error_aware import ErrorAwarePolicy
 from repro.scheduling.registry import create_policy
 
 __all__ = [
@@ -36,6 +40,17 @@ __all__ = [
 
 #: The four strategies evaluated in the paper, in Table 2 order.
 PAPER_STRATEGIES = ("speed", "fidelity", "fair", "rlbase")
+
+
+def _resolve_runner(
+    runner: Optional[ExperimentRunner],
+    backend: Optional[str],
+    max_workers: Optional[int],
+) -> ExperimentRunner:
+    """An explicit runner wins; otherwise build one from backend/max_workers."""
+    if runner is not None:
+        return runner
+    return ExperimentRunner(backend=backend or "serial", max_workers=max_workers)
 
 
 @dataclass
@@ -58,23 +73,11 @@ class CaseStudyResult:
         return [r.fidelity for r in self.records[strategy]]
 
 
-def _clone_jobs(jobs: Sequence[QJob]) -> List[QJob]:
-    """Deep-ish copy of a job list so each simulation gets fresh status fields."""
-    return [
-        QJob(
-            job_id=j.job_id,
-            circuit=j.circuit,
-            arrival_time=j.arrival_time,
-            priority=j.priority,
-        )
-        for j in jobs
-    ]
-
-
 def run_policy_simulation(
     config: SimulationConfig,
     policy: Any = None,
     jobs: Optional[Sequence[QJob]] = None,
+    runner: Optional[ExperimentRunner] = None,
 ) -> Tuple[StrategySummary, List[JobRecord]]:
     """Run one simulation with one policy and summarise it.
 
@@ -88,22 +91,19 @@ def run_policy_simulation(
     jobs:
         Pre-built workload (cloned before use); when ``None`` the synthetic
         workload described by *config* is generated.
+    runner:
+        Experiment runner to execute on (default: a serial one).
     """
-    if jobs is None:
-        jobs = generate_synthetic_jobs(
-            num_jobs=config.num_jobs,
-            seed=config.seed,
-            qubit_range=config.qubit_range,
-            depth_range=config.depth_range,
-            shots_range=config.shots_range,
-            two_qubit_density=config.two_qubit_density,
-            arrival=config.arrival,
-            arrival_rate=config.arrival_rate,
-        )
-    env = QCloudSimEnv(config=config, jobs=_clone_jobs(jobs), policy=policy)
-    records = env.run_until_complete()
-    name = getattr(env.policy, "name", config.policy)
-    return summarize_records(records, strategy=name), records
+    cell = ExperimentCell(
+        index=0,
+        strategy=config.policy,
+        seed=config.seed,
+        config=config,
+        policy=policy,
+        jobs=tuple(jobs) if jobs is not None else None,
+    )
+    result = _resolve_runner(runner, None, None).run_cells([cell])[0]
+    return result.summary, result.records
 
 
 def run_case_study(
@@ -111,11 +111,15 @@ def run_case_study(
     strategies: Sequence[str] = PAPER_STRATEGIES,
     rl_model: Any = None,
     policies: Optional[Dict[str, Any]] = None,
+    runner: Optional[ExperimentRunner] = None,
+    backend: Optional[str] = None,
+    max_workers: Optional[int] = None,
 ) -> CaseStudyResult:
     """Run the paper's case study across several allocation strategies.
 
-    Every strategy sees exactly the same workload (same seed, cloned jobs) on
-    an identically configured fleet.
+    Every strategy sees exactly the same workload (same seed) on an
+    identically configured fleet; with ``backend="process"`` the strategies
+    run concurrently and the results are identical to the serial backend.
 
     Parameters
     ----------
@@ -123,42 +127,42 @@ def run_case_study(
         Simulation configuration; defaults to the paper's (1,000 jobs).
     strategies:
         Strategy names to run (Table 2 order by default).  ``"rlbase"`` is
-        skipped with a warning entry when no model is available.
+        skipped when no model is available.
     rl_model:
         Trained model for the ``"rlbase"`` strategy (a
         :class:`repro.rl.ppo.PPO` or anything with ``predict``).
     policies:
         Optional mapping overriding specific policy instances by name.
+    runner, backend, max_workers:
+        Execution control: pass a ready :class:`ExperimentRunner` (wins), or
+        a backend name (``"serial"``/``"process"``) and pool size.
     """
     config = config if config is not None else SimulationConfig()
     policies = dict(policies or {})
 
-    jobs = generate_synthetic_jobs(
-        num_jobs=config.num_jobs,
-        seed=config.seed,
-        qubit_range=config.qubit_range,
-        depth_range=config.depth_range,
-        shots_range=config.shots_range,
-        two_qubit_density=config.two_qubit_density,
-        arrival=config.arrival,
-        arrival_rate=config.arrival_rate,
-    )
-
-    result = CaseStudyResult(config=config)
+    selected: List[str] = []
     for strategy in strategies:
-        if strategy in policies:
-            policy = policies[strategy]
-        elif strategy in ("rlbase", "rl"):
+        if strategy not in policies and strategy in ("rlbase", "rl"):
             if rl_model is None:
                 continue
-            policy = create_policy("rlbase", model=rl_model)
-        else:
-            policy = create_policy(strategy)
-        summary, records = run_policy_simulation(
-            config.with_policy(strategy), policy=policy, jobs=jobs
-        )
-        result.summaries[strategy] = summary
-        result.records[strategy] = records
+            policies[strategy] = create_policy("rlbase", model=rl_model)
+        selected.append(strategy)
+
+    if not selected:
+        # Every requested strategy was skipped (e.g. only "rlbase", no model).
+        return CaseStudyResult(config=config)
+
+    spec = ExperimentSpec(
+        base_config=config,
+        strategies=tuple(selected),
+        policies=policies,
+    )
+    outcome = _resolve_runner(runner, backend, max_workers).run(spec)
+
+    result = CaseStudyResult(config=config)
+    for cell_result in outcome:
+        result.summaries[cell_result.cell.strategy] = cell_result.summary
+        result.records[cell_result.cell.strategy] = cell_result.records
     return result
 
 
@@ -166,27 +170,44 @@ def sweep_communication_penalty(
     phis: Sequence[float],
     config: Optional[SimulationConfig] = None,
     strategy: str = "speed",
+    runner: Optional[ExperimentRunner] = None,
 ) -> Dict[float, StrategySummary]:
     """Ablation: sweep the per-link fidelity penalty φ (default 0.95)."""
     config = config if config is not None else SimulationConfig(num_jobs=50)
-    results: Dict[float, StrategySummary] = {}
-    for phi in phis:
-        cfg = config.with_policy(strategy)
-        cfg = SimulationConfig(**{**cfg.as_dict(), "comm_fidelity_penalty": float(phi)})
-        summary, _ = run_policy_simulation(cfg)
-        results[float(phi)] = summary
-    return results
+    spec = ExperimentSpec(
+        base_config=config,
+        strategies=(strategy,),
+        overrides=tuple({"comm_fidelity_penalty": float(phi)} for phi in phis),
+    )
+    outcome = _resolve_runner(runner, None, None).run(spec)
+    return {
+        float(phi): cell_result.summary
+        for phi, cell_result in zip(phis, outcome)
+    }
 
 
 def sweep_error_score_weights(
     weight_sets: Sequence[Tuple[float, float, float]],
     config: Optional[SimulationConfig] = None,
+    runner: Optional[ExperimentRunner] = None,
 ) -> Dict[Tuple[float, float, float], StrategySummary]:
     """Ablation: sweep the error-score weights (α, θ, γ) of Eq. (2)."""
     config = config if config is not None else SimulationConfig(num_jobs=50)
-    results: Dict[Tuple[float, float, float], StrategySummary] = {}
-    for alpha, theta, gamma in weight_sets:
-        policy = ErrorAwarePolicy(weights=ErrorScoreWeights(alpha, theta, gamma))
-        summary, _ = run_policy_simulation(config.with_policy("fidelity"), policy=policy)
-        results[(alpha, theta, gamma)] = summary
-    return results
+    base = config.with_policy("fidelity")
+    cells = [
+        ExperimentCell(
+            index=i,
+            strategy="fidelity",
+            seed=base.seed,
+            config=base,
+            policy_spec=PolicySpec(
+                "fidelity", {"weights": ErrorScoreWeights(alpha, theta, gamma)}
+            ),
+        )
+        for i, (alpha, theta, gamma) in enumerate(weight_sets)
+    ]
+    results = _resolve_runner(runner, None, None).run_cells(cells)
+    return {
+        tuple(weights): cell_result.summary
+        for weights, cell_result in zip(weight_sets, results)
+    }

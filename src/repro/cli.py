@@ -7,8 +7,15 @@ Exposes the framework's main workflows without writing Python::
     python -m repro simulate --policy speed -n 100
     python -m repro simulate --policy fidelity --jobs jobs.csv --records out.csv
     python -m repro compare -n 200               # Table-2-style comparison
+    python -m repro compare -n 200 --backend process --workers 4
+    python -m repro sweep --param comm_fidelity_penalty --values 0.9 0.95 1.0
     python -m repro train --timesteps 20000 --model policy.npz
     python -m repro simulate --policy rlbase --model policy.npz -n 100
+
+Every simulation-driving command delegates to the experiment engine
+(:mod:`repro.engine`): ``--backend process`` fans cells out over a process
+pool, and ``--results-dir`` persists summaries/records with content-keyed
+caching so repeated sweeps skip already-computed cells.
 
 Every command prints a short human-readable report to stdout; ``--records``
 and ``--curve`` write machine-readable CSV/JSON artefacts for further
@@ -30,6 +37,34 @@ __all__ = ["build_parser", "main"]
 # --------------------------------------------------------------------------- #
 # Command implementations
 # --------------------------------------------------------------------------- #
+def _make_runner(args: argparse.Namespace):
+    """Build the ExperimentRunner requested by --backend/--workers/--results-dir."""
+    from repro.engine import ExperimentRunner, ResultStore
+
+    store = ResultStore(args.results_dir) if getattr(args, "results_dir", None) else None
+    return ExperimentRunner(
+        backend=getattr(args, "backend", "serial"),
+        max_workers=getattr(args, "workers", None),
+        store=store,
+    )
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number <= 0:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return number
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backend", choices=("serial", "process"), default="serial",
+                        help="experiment execution backend")
+    parser.add_argument("--workers", type=_positive_int,
+                        help="process-pool size (process backend)")
+    parser.add_argument("--results-dir",
+                        help="persist/cache results in this directory (ResultStore)")
+
+
 def _cmd_devices(args: argparse.Namespace) -> int:
     from repro.hardware.backends import get_device_profile, list_available_devices
 
@@ -84,18 +119,19 @@ def _load_policy(args: argparse.Namespace):
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import run_policy_simulation
     from repro.cloud.config import SimulationConfig
-    from repro.cloud.environment import QCloudSimEnv
     from repro.cloud.io import jobs_from_csv, jobs_from_json
+    from repro.cloud.records import records_to_csv
 
     config = SimulationConfig(policy=args.policy, num_jobs=args.num_jobs, seed=args.seed)
     jobs = None
     if args.jobs:
         jobs = jobs_from_json(args.jobs) if args.jobs.endswith(".json") else jobs_from_csv(args.jobs)
 
-    env = QCloudSimEnv(config, jobs=jobs, policy=_load_policy(args))
-    records = env.run_until_complete()
-    summary = env.summary()
+    summary, records = run_policy_simulation(
+        config, policy=_load_policy(args), jobs=jobs, runner=_make_runner(args)
+    )
 
     print(f"policy        : {summary.strategy}")
     print(f"jobs completed: {summary.num_jobs}")
@@ -105,7 +141,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"devices/job   : {summary.mean_devices_per_job:.2f}")
 
     if args.records:
-        env.records.to_csv(args.records)
+        records_to_csv(records, args.records)
         print(f"wrote per-job records to {args.records}")
     return 0 if len(records) else 1
 
@@ -134,12 +170,73 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             strategies.append("rlbase")
 
     config = SimulationConfig(num_jobs=args.num_jobs, seed=args.seed)
-    result = run_case_study(config, strategies=tuple(strategies), rl_model=rl_model)
+    runner = _make_runner(args)
+    result = run_case_study(
+        config, strategies=tuple(strategies), rl_model=rl_model, runner=runner
+    )
     print(format_table2(result.summaries))
     if args.histograms:
         for name in result.summaries:
             print()
             print(ascii_histogram(result.fidelities(name), bins=12, width=40, title=f"[{name}]"))
+    if runner.store is not None:
+        path = runner.store.write_summaries_csv(result.summary_rows())
+        print(f"\nwrote summary rows to {path}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.cloud.config import SimulationConfig
+    from repro.engine import ExperimentSpec
+
+    field_names = {f.name for f in dataclasses.fields(SimulationConfig)}
+    if args.param not in field_names:
+        raise SystemExit(
+            f"unknown config field {args.param!r}; choose one of {sorted(field_names)}"
+        )
+
+    config = SimulationConfig(num_jobs=args.num_jobs, seed=args.seed)
+    field_types = {f.name: str(f.type) for f in dataclasses.fields(SimulationConfig)}
+    ftype = field_types[args.param]
+    if "Tuple" in ftype or "List" in ftype:
+        raise SystemExit(f"cannot sweep compound field {args.param!r} ({ftype}) from the CLI")
+    cast = int if "int" in ftype else float if "float" in ftype else str
+    try:
+        values = [cast(v) for v in args.values]
+    except ValueError:
+        raise SystemExit(f"--values for {args.param} must be {cast.__name__}s, got {args.values}")
+
+    runner = _make_runner(args)
+    spec = ExperimentSpec(
+        base_config=config,
+        strategies=tuple(args.strategies),
+        replicates=args.replicates,
+        overrides=tuple({args.param: value} for value in values),
+    )
+    try:
+        outcome = runner.run(spec)
+    except ValueError as exc:
+        # Config validation rejected a swept value (e.g. phi outside [0, 1]).
+        raise SystemExit(f"invalid sweep value for {args.param}: {exc}")
+
+    print(f"{args.param:<24} {'strategy':<10} {'seed':>12} {'T_sim(s)':>12} "
+          f"{'fidelity':>10} {'T_comm(s)':>12} {'cached':>7}")
+    per_value = len(outcome) // len(values)
+    for i, cell_result in enumerate(outcome):
+        value = values[i // per_value]
+        s = cell_result.summary
+        print(f"{value!s:<24} {cell_result.cell.strategy:<10} {cell_result.cell.seed:>12} "
+              f"{s.total_simulation_time:>12,.1f} {s.mean_fidelity:>10.5f} "
+              f"{s.total_communication_time:>12,.1f} {'yes' if cell_result.cached else 'no':>7}")
+
+    if runner.store is not None:
+        rows = outcome.summary_rows()
+        for i, row in enumerate(rows):
+            row[args.param] = values[i // per_value]
+        path = runner.store.write_summaries_csv(rows)
+        print(f"\nwrote summary rows to {path}")
     return 0
 
 
@@ -202,6 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--jobs", help="CSV/JSON workload file (overrides --num-jobs)")
     p_sim.add_argument("--model", help="trained policy .npz (required for rlbase)")
     p_sim.add_argument("--records", help="write per-job records to this CSV file")
+    _add_engine_options(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_cmp = sub.add_parser("compare", help="compare allocation strategies (Table 2)")
@@ -210,7 +308,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--strategies", nargs="+", default=["speed", "fidelity", "fair"])
     p_cmp.add_argument("--model", help="trained policy .npz; adds the rlbase row")
     p_cmp.add_argument("--histograms", action="store_true", help="print Fig.-6-style histograms")
+    _add_engine_options(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)
+
+    p_sweep = sub.add_parser("sweep", help="sweep one config field over a value grid")
+    p_sweep.add_argument("--param", required=True,
+                         help="SimulationConfig field to sweep (e.g. comm_fidelity_penalty)")
+    p_sweep.add_argument("--values", nargs="+", required=True, help="values to sweep over")
+    p_sweep.add_argument("--strategies", nargs="+", default=["speed"])
+    p_sweep.add_argument("-n", "--num-jobs", type=int, default=50)
+    p_sweep.add_argument("--seed", type=int, default=2025)
+    p_sweep.add_argument("--replicates", type=int, default=1,
+                         help="workload replicates per grid cell (seeds derived)")
+    _add_engine_options(p_sweep)
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     p_train = sub.add_parser("train", help="train the PPO allocation policy (Fig. 5)")
     p_train.add_argument("--timesteps", type=int, default=100_000)

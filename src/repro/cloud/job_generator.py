@@ -22,7 +22,7 @@ from repro.cloud.broker import Broker
 from repro.cloud.qjob import QJob
 from repro.cloud.records import JobRecordsManager
 from repro.des.environment import Environment
-from repro.des.events import Process
+from repro.des.events import NORMAL, Event, Process
 
 __all__ = ["JobGenerator", "generate_synthetic_jobs"]
 
@@ -132,14 +132,51 @@ class JobGenerator:
         self.process = self.env.process(self._dispatch())
         return self.process
 
-    def _dispatch(self) -> Generator[object, object, int]:
-        """DES process releasing each job at its arrival time."""
+    def _arrival_batches(self) -> List[Tuple[float, List[QJob]]]:
+        """Jobs grouped by distinct arrival time (jobs are already sorted)."""
+        batches: List[Tuple[float, List[QJob]]] = []
         for job in self.jobs:
-            delay = job.arrival_time - self.env.now
-            if delay > 0:
-                yield self.env.timeout(delay)
-            self.records.log_arrival(job.job_id, self.env.now)
-            self.submitted.append(self.broker.submit(job))
+            if batches and batches[-1][0] == job.arrival_time:
+                batches[-1][1].append(job)
+            else:
+                batches.append((job.arrival_time, [job]))
+        return batches
+
+    def _dispatch(self) -> Generator[object, object, int]:
+        """DES process releasing each job at its arrival time.
+
+        Jobs sharing an arrival time are released as one batch, and all
+        future arrival markers are bulk-scheduled up front through
+        :meth:`~repro.des.environment.Environment.schedule_batch` — one heap
+        build instead of one ``timeout`` round-trip per job.
+        """
+        env = self.env
+        batches = self._arrival_batches()
+
+        markers: List[Optional[Event]] = []
+        pending: List[Tuple[float, int, Event]] = []
+        for time, _ in batches:
+            if time > env.now:
+                marker = Event(env)
+                marker._ok = True
+                marker._value = None
+                pending.append((time, NORMAL, marker))
+                markers.append(marker)
+            else:
+                markers.append(None)
+        if pending:
+            env.schedule_batch(pending)
+
+        log_arrival = self.records.log_arrival
+        submit = self.broker.submit
+        submitted = self.submitted
+        for (time, batch), marker in zip(batches, markers):
+            if marker is not None:
+                yield marker
+            now = env.now
+            for job in batch:
+                log_arrival(job.job_id, now)
+                submitted.append(submit(job))
         return len(self.jobs)
 
     def all_jobs_done(self):

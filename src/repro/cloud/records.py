@@ -15,7 +15,20 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.metrics.fidelity import FidelityBreakdown
 
-__all__ = ["JobEvent", "JobRecord", "JobRecordsManager"]
+__all__ = ["JobEvent", "JobRecord", "JobRecordsManager", "records_to_csv"]
+
+
+def records_to_csv(records: Sequence["JobRecord"], path: str) -> None:
+    """Write job records to a CSV file (columns from ``JobRecord.as_dict``)."""
+    records = list(records)
+    if not records:
+        raise ValueError("no completed records to export")
+    fieldnames = list(records[0].as_dict().keys())
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fieldnames)
+        writer.writeheader()
+        for record in records:
+            writer.writerow(record.as_dict())
 
 
 @dataclass(frozen=True)
@@ -146,15 +159,7 @@ class JobRecordsManager:
     # -- export -----------------------------------------------------------------
     def to_csv(self, path: str) -> None:
         """Write all completed-job records to a CSV file."""
-        records = self.completed_records
-        if not records:
-            raise ValueError("no completed records to export")
-        fieldnames = list(records[0].as_dict().keys())
-        with open(path, "w", newline="") as fh:
-            writer = csv.DictWriter(fh, fieldnames=fieldnames)
-            writer.writeheader()
-            for record in records:
-                writer.writerow(record.as_dict())
+        records_to_csv(self.completed_records, path)
 
     def events_to_csv(self, path: str) -> None:
         """Write the raw event log to a CSV file."""

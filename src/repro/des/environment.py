@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-import heapq
+from heapq import heapify, heappop, heappush
 from itertools import count
 from types import GeneratorType
-from typing import Any, Iterable, List, Optional, Tuple, Union
+from typing import Any, Callable, Iterable, List, Optional, Tuple, Union
 
 from repro.des.events import NORMAL, PENDING, AllOf, AnyOf, Event, Process, Timeout
 from repro.des.exceptions import SimulationError, StopSimulation
@@ -14,6 +14,9 @@ __all__ = ["Environment", "EmptySchedule"]
 
 #: Sentinel returned by :meth:`Environment.peek` when the queue is empty.
 Infinity = float("inf")
+
+#: Signature of an event-trace hook: ``(time, priority, event)``.
+TraceCallback = Callable[[float, int, Event], None]
 
 
 class EmptySchedule(SimulationError):
@@ -31,17 +34,26 @@ class Environment:
     Event ordering is deterministic: events scheduled for the same time are
     processed in ``(priority, insertion order)`` order.
 
+    The event loop is the hottest code in the simulator, so the class uses
+    ``__slots__`` and :meth:`run` drives an inlined step loop with the heap
+    primitives pre-bound to locals.  Subclasses (e.g. the quantum-cloud
+    environment) may freely add attributes — they fall back to a normal
+    instance ``__dict__``.
+
     Parameters
     ----------
     initial_time:
         Simulation time to start the clock at (default ``0``).
     """
 
+    __slots__ = ("_now", "_queue", "_eid", "_active_proc", "_trace")
+
     def __init__(self, initial_time: float = 0) -> None:
         self._now: float = initial_time
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_proc: Optional[Process] = None
+        self._trace: Optional[TraceCallback] = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Environment now={self._now} queued={len(self._queue)}>"
@@ -71,6 +83,12 @@ class Environment:
         """Create a :class:`~repro.des.events.Timeout` firing after *delay*."""
         return Timeout(self, delay, value)
 
+    def timeout_at(self, time: float, value: Any = None) -> Timeout:
+        """Create a :class:`~repro.des.events.Timeout` firing at absolute *time*."""
+        if time < self._now:
+            raise ValueError(f"time (={time}) lies in the past (now={self._now})")
+        return Timeout(self, time - self._now, value)
+
     def process(self, generator: GeneratorType) -> Process:
         """Start a new :class:`~repro.des.events.Process` from *generator*."""
         return Process(self, generator)
@@ -86,7 +104,40 @@ class Environment:
     # -- scheduling ----------------------------------------------------------
     def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0) -> None:
         """Schedule *event* to be processed after *delay* time units."""
-        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+        heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def schedule_at(self, event: Event, time: float, priority: int = NORMAL) -> None:
+        """Schedule *event* at absolute simulation *time* (must not be in the past)."""
+        if time < self._now:
+            raise ValueError(f"time (={time}) lies in the past (now={self._now})")
+        heappush(self._queue, (time, priority, next(self._eid), event))
+
+    def schedule_batch(
+        self, items: Iterable[Tuple[float, int, Event]]
+    ) -> int:
+        """Bulk-schedule many ``(time, priority, event)`` entries at once.
+
+        Insertion order within the batch is preserved for same-time entries.
+        When the batch is large relative to the queue the heap is rebuilt in
+        one O(n + k) ``heapify`` instead of k O(log n) pushes — this is the
+        fast path the job generator uses for arrival batches.
+
+        Returns the number of scheduled events.
+        """
+        now = self._now
+        eid = self._eid
+        entries = [(float(time), priority, next(eid), event) for time, priority, event in items]
+        for entry in entries:
+            if entry[0] < now:
+                raise ValueError(f"time (={entry[0]}) lies in the past (now={now})")
+        queue = self._queue
+        if len(entries) > 8 and 4 * len(entries) > len(queue):
+            queue.extend(entries)
+            heapify(queue)
+        else:
+            for entry in entries:
+                heappush(queue, entry)
+        return len(entries)
 
     def peek(self) -> float:
         """Return the time of the next scheduled event (``inf`` if none)."""
@@ -101,9 +152,12 @@ class Environment:
         SimPy's behaviour so programming errors inside processes surface.
         """
         try:
-            self._now, _, _, event = heapq.heappop(self._queue)
+            self._now, priority, _, event = heappop(self._queue)
         except IndexError:
             raise EmptySchedule("No scheduled events left") from None
+
+        if self._trace is not None:
+            self._trace(self._now, priority, event)
 
         callbacks, event.callbacks = event.callbacks, None
         # ``callbacks`` may be None if the event was already processed (this
@@ -117,6 +171,38 @@ class Environment:
                 raise exc
             raise SimulationError(f"Event {event!r} failed with non-exception {exc!r}")
 
+    def _run_fast(self) -> None:
+        """Drain the queue with the heap primitives pre-bound to locals.
+
+        The trace hook is re-checked every iteration (a slot load and an
+        ``is`` test — negligible next to callback dispatch), so installing
+        or removing :func:`~repro.des.monitoring.trace_events` mid-run takes
+        effect immediately.  Raises :class:`EmptySchedule` (queue drained) or
+        :class:`StopSimulation` (an ``until`` event fired), exactly like
+        repeated :meth:`step` calls.
+        """
+        queue = self._queue
+        pop = heappop
+        step = self.step
+        while True:
+            if self._trace is not None:
+                step()
+                continue
+            try:
+                item = pop(queue)
+            except IndexError:
+                raise EmptySchedule("No scheduled events left") from None
+            self._now = item[0]
+            event = item[3]
+            callbacks, event.callbacks = event.callbacks, None
+            for callback in callbacks or ():
+                callback(event)
+            if not event._ok and not event._defused:
+                exc = event._value
+                if isinstance(exc, BaseException):
+                    raise exc
+                raise SimulationError(f"Event {event!r} failed with non-exception {exc!r}")
+
     def run(self, until: Union[None, float, Event] = None) -> Any:
         """Run the simulation.
 
@@ -124,7 +210,8 @@ class Environment:
         ----------
         until:
             * ``None`` — run until the event queue is exhausted,
-            * a number — run until the clock reaches that time,
+            * a number — run until the clock reaches that time (a value equal
+              to the current time returns immediately),
             * an :class:`~repro.des.events.Event` — run until that event has
               been processed and return its value.
 
@@ -135,8 +222,12 @@ class Environment:
         if until is not None and not isinstance(until, Event):
             # Interpret as a point in time.
             at = float(until)
-            if at <= self._now:
-                raise ValueError(f"until (={at}) must be greater than the current time")
+            if at < self._now:
+                raise ValueError(f"until (={at}) must not be smaller than the current time")
+            if at == self._now:
+                # Nothing to do — the clock is already there (SimPy semantics;
+                # repeated benchmark runs rely on this being a no-op).
+                return None
             until = Event(self)
             until._ok = True
             until._value = None
@@ -153,8 +244,7 @@ class Environment:
             until.callbacks.append(StopSimulation.callback)
 
         try:
-            while True:
-                self.step()
+            self._run_fast()
         except StopSimulation as exc:
             return exc.value
         except EmptySchedule:

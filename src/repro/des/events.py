@@ -61,7 +61,14 @@ class Event:
     Processes obtain the value of an event by yielding it::
 
         value = yield some_event
+
+    Events are created in very large numbers on the simulation hot path, so
+    the core event classes declare ``__slots__``; subclasses that need extra
+    attributes (e.g. the resource request events) may simply omit
+    ``__slots__`` and fall back to a normal instance ``__dict__``.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Any") -> None:
         self.env = env
@@ -168,6 +175,8 @@ class Event:
 class Timeout(Event):
     """An event that triggers automatically after *delay* time units."""
 
+    __slots__ = ("_delay",)
+
     def __init__(self, env: "Any", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"Negative delay {delay}")
@@ -189,6 +198,8 @@ class Timeout(Event):
 class Initialize(Event):
     """Initializes a process; scheduled immediately on process creation."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Any", process: "Process") -> None:
         super().__init__(env)
         self.callbacks = [process._resume]
@@ -199,6 +210,8 @@ class Initialize(Event):
 
 class Interruption(Event):
     """Immediately schedules an :class:`Interrupt` to be thrown into a process."""
+
+    __slots__ = ("process",)
 
     def __init__(self, process: "Process", cause: Any) -> None:
         super().__init__(process.env)
@@ -235,6 +248,8 @@ class Process(Event):
     generator raised).  Other processes can therefore wait for a process to
     finish by yielding it.
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Any", generator: GeneratorType) -> None:
         if not hasattr(generator, "throw"):
@@ -315,6 +330,8 @@ class Process(Event):
 class ConditionValue:
     """Result of a :class:`Condition`: an ordered mapping of event -> value."""
 
+    __slots__ = ("events",)
+
     def __init__(self, *events: Event) -> None:
         self.events: List[Event] = list(events)
 
@@ -359,6 +376,8 @@ class Condition(Event):
     The value of a condition is a :class:`ConditionValue` holding the values
     of all events that had triggered by the time the condition fired.
     """
+
+    __slots__ = ("_evaluate", "_events", "_count")
 
     def __init__(
         self,
@@ -439,12 +458,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Condition that triggers once all of *events* have triggered."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Any", events: Iterable[Event]) -> None:
         super().__init__(env, Condition.all_events, events)
 
 
 class AnyOf(Condition):
     """Condition that triggers once any of *events* has triggered."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Any", events: Iterable[Event]) -> None:
         super().__init__(env, Condition.any_events, events)

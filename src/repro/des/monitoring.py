@@ -22,8 +22,11 @@ def trace_events(
 ) -> Callable[[], None]:
     """Invoke *callback(time, priority, event)* for every event processed.
 
-    The environment's ``step`` method is wrapped (monkey-patched on the
-    instance); the returned function removes the wrapper again.
+    The callback is installed as the environment's trace hook (which also
+    disables the inlined fast-path event loop while active); the returned
+    function removes it again.  Nested calls chain: every installed callback
+    fires, and each ``undo`` restores the hook that was active before its
+    ``trace_events`` call.
 
     Example
     -------
@@ -35,18 +38,20 @@ def trace_events(
     >>> log
     [(3, 'Timeout')]
     """
-    original_step = env.step
+    previous = env._trace
 
-    def traced_step() -> None:
-        if env._queue:
-            time, priority, _, event = env._queue[0]
+    if previous is None:
+        hook = callback
+    else:
+
+        def hook(time: float, priority: int, event: Event) -> None:
+            previous(time, priority, event)
             callback(time, priority, event)
-        original_step()
 
-    env.step = traced_step  # type: ignore[method-assign]
+    env._trace = hook
 
     def undo() -> None:
-        env.step = original_step  # type: ignore[method-assign]
+        env._trace = previous
 
     return undo
 

@@ -1,0 +1,140 @@
+"""Tests for the experiment runner: backends, equivalence, fail-fast."""
+
+import pytest
+
+from repro.cloud.config import SimulationConfig
+from repro.engine import (
+    ExperimentCell,
+    ExperimentRunner,
+    ExperimentSpec,
+    PolicySpec,
+    ResultStore,
+    execute_cell,
+)
+from repro.metrics.error_score import ErrorScoreWeights
+
+
+def _small_spec(**kwargs):
+    defaults = dict(
+        base_config=SimulationConfig(num_jobs=12, seed=7),
+        strategies=("speed", "fidelity", "fair"),
+    )
+    defaults.update(kwargs)
+    return ExperimentSpec(**defaults)
+
+
+# Module-level so the process backend can pickle it.
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise RuntimeError(f"boom {x}")
+
+
+class TestMap:
+    def test_serial_map_in_order(self):
+        assert ExperimentRunner().map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_process_map_in_order(self):
+        runner = ExperimentRunner(backend="process", max_workers=2)
+        assert runner.map(_square, [1, 2, 3, 4]) == [1, 4, 9, 16]
+
+    def test_serial_fail_fast(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            ExperimentRunner().map(_boom, [1, 2])
+
+    def test_process_fail_fast(self):
+        runner = ExperimentRunner(backend="process", max_workers=2)
+        with pytest.raises(RuntimeError, match="boom"):
+            runner.map(_boom, [1, 2, 3, 4])
+
+    def test_invalid_backend(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(backend="threads")
+        with pytest.raises(ValueError):
+            ExperimentRunner(max_workers=0)
+
+
+class TestExecuteCell:
+    def test_summary_matches_records(self):
+        (cell,) = _small_spec(strategies=("speed",)).cells()
+        result = execute_cell(cell)
+        assert result.summary.num_jobs == 12
+        assert len(result.records) == 12
+        assert result.summary.strategy == "speed"
+
+    def test_policy_spec_cell(self):
+        (cell,) = _small_spec(strategies=("fidelity",)).cells()
+        cell = ExperimentCell(
+            index=0,
+            strategy="fidelity",
+            seed=cell.seed,
+            config=cell.config,
+            policy_spec=PolicySpec("fidelity", {"weights": ErrorScoreWeights(1.0, 0.0, 0.0)}),
+        )
+        result = execute_cell(cell)
+        assert result.summary.num_jobs == 12
+
+
+class TestBackendEquivalence:
+    def test_parallel_rows_identical_to_serial(self):
+        """The satellite guarantee: byte-identical summaries across backends."""
+        spec = _small_spec(replicates=2)
+        serial = ExperimentRunner(backend="serial").run(spec)
+        parallel = ExperimentRunner(backend="process", max_workers=2).run(spec)
+
+        assert len(serial) == len(parallel) == 6
+        for s, p in zip(serial, parallel):
+            assert s.cell == p.cell
+            # StrategySummary is a frozen dataclass of floats: equality here
+            # means bit-for-bit identical fields.
+            assert s.summary == p.summary
+            assert s.records == p.records
+
+    def test_run_twice_is_deterministic(self):
+        spec = _small_spec(replicates=2)
+        first = ExperimentRunner().run(spec)
+        second = ExperimentRunner().run(spec)
+        assert [r.summary for r in first] == [r.summary for r in second]
+        assert [r.cell.seed for r in first] == [r.cell.seed for r in second]
+
+
+class TestStoreIntegration:
+    def test_second_run_hits_cache(self, tmp_path):
+        store = ResultStore(str(tmp_path / "results"))
+        spec = _small_spec()
+        runner = ExperimentRunner(store=store)
+
+        first = runner.run(spec)
+        assert all(not r.cached for r in first)
+        assert len(store) == 3
+
+        second = runner.run(spec)
+        assert all(r.cached for r in second)
+        assert [r.summary for r in second] == [r.summary for r in first]
+        assert [r.records for r in second] == [r.records for r in first]
+
+    def test_changed_config_misses_cache(self, tmp_path):
+        store = ResultStore(str(tmp_path / "results"))
+        runner = ExperimentRunner(store=store)
+        runner.run(_small_spec(strategies=("speed",)))
+        changed = runner.run(
+            _small_spec(
+                strategies=("speed",),
+                overrides=({"comm_fidelity_penalty": 0.9},),
+            )
+        )
+        assert all(not r.cached for r in changed)
+
+    def test_uncacheable_cells_always_run(self, tmp_path):
+        from repro.scheduling.speed import SpeedPolicy
+
+        store = ResultStore(str(tmp_path / "results"))
+        runner = ExperimentRunner(store=store)
+        spec = _small_spec(strategies=("speed",), policies={"speed": SpeedPolicy()})
+        first = runner.run(spec)
+        second = runner.run(spec)
+        assert not first.results[0].cached
+        assert not second.results[0].cached
+        assert first.results[0].summary == second.results[0].summary

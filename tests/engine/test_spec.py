@@ -1,0 +1,136 @@
+"""Unit tests for experiment specs, cells and seed derivation."""
+
+import pytest
+
+from repro.cloud.config import SimulationConfig
+from repro.engine import ExperimentCell, ExperimentSpec, PolicySpec, derive_seed
+from repro.metrics.error_score import ErrorScoreWeights
+
+
+class TestDeriveSeed:
+    def test_deterministic_across_calls(self):
+        assert derive_seed(2025, "replicate", 3) == derive_seed(2025, "replicate", 3)
+
+    def test_sensitive_to_every_component(self):
+        base = derive_seed(2025, "replicate", 0)
+        assert derive_seed(2024, "replicate", 0) != base
+        assert derive_seed(2025, "replicate", 1) != base
+        assert derive_seed(2025, "training", 0) != base
+
+    def test_range(self):
+        for r in range(32):
+            seed = derive_seed(0, r)
+            assert 0 <= seed < 2**63
+
+
+class TestPolicySpec:
+    def test_build_from_registry(self):
+        policy = PolicySpec("speed").build()
+        assert policy.name == "speed"
+
+    def test_build_with_kwargs(self):
+        weights = ErrorScoreWeights(1.0, 0.0, 0.0)
+        policy = PolicySpec("fidelity", {"weights": weights}).build()
+        assert policy.weights == weights
+
+    def test_fingerprint_stable_and_content_sensitive(self):
+        a = PolicySpec("fidelity", {"weights": ErrorScoreWeights(0.5, 0.3, 0.2)})
+        b = PolicySpec("fidelity", {"weights": ErrorScoreWeights(0.5, 0.3, 0.2)})
+        c = PolicySpec("fidelity", {"weights": ErrorScoreWeights(1.0, 0.0, 0.0)})
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()
+
+
+class TestExperimentCell:
+    def test_cache_key_stable(self):
+        config = SimulationConfig(num_jobs=10)
+        a = ExperimentCell(index=0, strategy="speed", seed=1, config=config)
+        b = ExperimentCell(index=5, strategy="speed", seed=1, config=config)
+        # The grid position does not change the content identity.
+        assert a.cache_key() == b.cache_key()
+
+    def test_cache_key_content_sensitive(self):
+        config = SimulationConfig(num_jobs=10)
+        base = ExperimentCell(index=0, strategy="speed", seed=1, config=config)
+        other_seed = ExperimentCell(index=0, strategy="speed", seed=2, config=config)
+        other_cfg = ExperimentCell(
+            index=0, strategy="speed", seed=1, config=SimulationConfig(num_jobs=11)
+        )
+        assert base.cache_key() != other_seed.cache_key()
+        assert base.cache_key() != other_cfg.cache_key()
+
+    def test_prebuilt_policy_is_uncacheable(self):
+        from repro.scheduling.speed import SpeedPolicy
+
+        cell = ExperimentCell(
+            index=0, strategy="speed", seed=1, config=SimulationConfig(num_jobs=10),
+            policy=SpeedPolicy(),
+        )
+        assert cell.cache_key() is None
+
+
+class TestExperimentSpec:
+    def test_grid_size(self):
+        spec = ExperimentSpec(
+            base_config=SimulationConfig(num_jobs=10),
+            strategies=("speed", "fair"),
+            replicates=3,
+            overrides=({}, {"comm_fidelity_penalty": 0.9}),
+        )
+        assert len(spec) == 12
+        assert len(spec.cells()) == 12
+
+    def test_single_replicate_uses_base_seed(self):
+        spec = ExperimentSpec(base_config=SimulationConfig(num_jobs=10, seed=77))
+        assert spec.replicate_seeds() == [77]
+
+    def test_replicate_seeds_deterministic_and_shared_across_strategies(self):
+        spec = ExperimentSpec(
+            base_config=SimulationConfig(num_jobs=10, seed=5),
+            strategies=("speed", "fidelity"),
+            replicates=2,
+        )
+        again = ExperimentSpec(
+            base_config=SimulationConfig(num_jobs=10, seed=5),
+            strategies=("speed", "fidelity"),
+            replicates=2,
+        )
+        assert spec.replicate_seeds() == again.replicate_seeds()
+        cells = spec.cells()
+        by_replicate = {}
+        for cell in cells:
+            by_replicate.setdefault(cell.replicate, set()).add(cell.seed)
+        # All strategies inside one replicate share the workload seed.
+        assert all(len(seeds) == 1 for seeds in by_replicate.values())
+        # Different replicates get different seeds.
+        assert len({next(iter(s)) for s in by_replicate.values()}) == 2
+
+    def test_explicit_seeds_override_derivation(self):
+        spec = ExperimentSpec(
+            base_config=SimulationConfig(num_jobs=10), seeds=(11, 22)
+        )
+        assert spec.replicate_seeds() == [11, 22]
+
+    def test_overrides_applied_to_cell_config(self):
+        spec = ExperimentSpec(
+            base_config=SimulationConfig(num_jobs=10),
+            overrides=({"comm_fidelity_penalty": 0.9},),
+        )
+        (cell,) = spec.cells()
+        assert cell.config.comm_fidelity_penalty == 0.9
+
+    def test_cell_config_policy_matches_strategy(self):
+        spec = ExperimentSpec(
+            base_config=SimulationConfig(num_jobs=10), strategies=("fair",)
+        )
+        (cell,) = spec.cells()
+        assert cell.config.policy == "fair"
+        assert cell.strategy == "fair"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(base_config=SimulationConfig(num_jobs=10), strategies=())
+        with pytest.raises(ValueError):
+            ExperimentSpec(base_config=SimulationConfig(num_jobs=10), replicates=0)
+        with pytest.raises(ValueError):
+            ExperimentSpec(base_config=SimulationConfig(num_jobs=10), overrides=())

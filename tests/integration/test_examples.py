@@ -5,6 +5,7 @@ subprocesses (with small workloads) so that API drift breaks the build
 rather than the documentation.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -12,15 +13,21 @@ from pathlib import Path
 import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+SRC_DIR = Path(__file__).resolve().parents[2] / "src"
 
 
 def run_example(script: str, *args: str, cwd=None) -> subprocess.CompletedProcess:
+    # Resolve the package path absolutely: a relative PYTHONPATH (e.g. the
+    # tier-1 ``PYTHONPATH=src``) breaks for subprocesses run from a tmp cwd.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
     return subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / script), *args],
         capture_output=True,
         text=True,
         timeout=300,
         cwd=cwd,
+        env=env,
     )
 
 
@@ -37,6 +44,16 @@ class TestExamples:
         assert "Table 2 (reproduced, scaled workload)" in result.stdout
         assert "speed" in result.stdout and "fidelity" in result.stdout
         assert "highest mean fidelity" in result.stdout
+
+    def test_parallel_sweep(self, tmp_path):
+        store = str(tmp_path / "results")
+        result = run_example("parallel_sweep.py", "8", "--store", store)
+        assert result.returncode == 0, result.stderr
+        assert "12 cells, 0 restored from cache" in result.stdout
+        # A second run restores every cell from the content-keyed cache.
+        result = run_example("parallel_sweep.py", "8", "--store", store)
+        assert result.returncode == 0, result.stderr
+        assert "12 cells, 12 restored from cache" in result.stdout
 
     def test_train_rl_scheduler(self, tmp_path):
         model_path = str(tmp_path / "policy.npz")
