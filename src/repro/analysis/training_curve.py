@@ -46,6 +46,7 @@ def run_training_replicates(
     replicates: int = 4,
     base_seed: int = 0,
     total_timesteps: int = 100_000,
+    n_envs: int = 1,
     runner: Optional[ExperimentRunner] = None,
     **train_kwargs: Any,
 ) -> Dict[int, List[Mapping[str, float]]]:
@@ -57,6 +58,11 @@ def run_training_replicates(
         Explicit replicate seeds; when ``None``, *replicates* seeds are
         derived deterministically from *base_seed* via
         :func:`repro.engine.derive_seed`.
+    n_envs:
+        Parallel rollout environments *within* each replicate (vectorized
+        PPO); 1 keeps each replicate bit-identical to serial training, while
+        e.g. 16 makes every replicate severalfold faster.  Composes with the
+        process backend, which parallelises *across* replicates.
     runner:
         Experiment runner to execute on (default serial); with
         ``ExperimentRunner(backend="process")`` replicates train
@@ -74,7 +80,7 @@ def run_training_replicates(
             raise ValueError("replicates must be positive")
         seeds = [derive_seed(base_seed, "training", r) for r in range(replicates)]
     payloads = [
-        {"seed": int(seed), "total_timesteps": total_timesteps, **train_kwargs}
+        {"seed": int(seed), "total_timesteps": total_timesteps, "n_envs": n_envs, **train_kwargs}
         for seed in seeds
     ]
     runner = runner if runner is not None else ExperimentRunner()

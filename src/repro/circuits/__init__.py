@@ -24,6 +24,7 @@ from repro.circuits.generators import (
 )
 from repro.circuits.partition import (
     allocation_from_weights,
+    allocation_from_weights_batch,
     partition_even,
     partition_greedy_fill,
     partition_proportional,
@@ -33,6 +34,7 @@ from repro.circuits.partition import (
 __all__ = [
     "CircuitSpec",
     "allocation_from_weights",
+    "allocation_from_weights_batch",
     "ghz_spec",
     "partition_even",
     "partition_greedy_fill",

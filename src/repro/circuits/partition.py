@@ -11,12 +11,16 @@ vectors ``a = (a_1, ..., a_k)`` with ``sum(a_i) = q`` and ``0 <= a_i <= C_i``
   set (the "balanced" variant),
 * :func:`partition_proportional` / :func:`allocation_from_weights` — divide
   proportionally to continuous weights, used by the RL policy (§4.1's
-  normalise-round-adjust procedure).
+  normalise-round-adjust procedure),
+* :func:`allocation_from_weights_batch` — the same normalise-round-adjust
+  procedure applied to a whole ``(B, k)`` batch of weight vectors at once
+  (used by the vectorized training environment); each row matches the scalar
+  :func:`allocation_from_weights` exactly.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Sequence, Union
 
 import numpy as np
 
@@ -25,6 +29,7 @@ __all__ = [
     "partition_even",
     "partition_proportional",
     "allocation_from_weights",
+    "allocation_from_weights_batch",
     "validate_allocation",
 ]
 
@@ -180,3 +185,82 @@ def allocation_from_weights(
     """
     weights_arr = np.clip(np.asarray(weights, dtype=np.float64), 0.0, None) + epsilon
     return partition_proportional(total, weights_arr, capacities)
+
+
+def allocation_from_weights_batch(
+    weights: np.ndarray,
+    totals: Union[Sequence[int], np.ndarray],
+    capacities: Union[Sequence[int], np.ndarray],
+    epsilon: float = 1e-8,
+) -> np.ndarray:
+    """Batched §4.1 action post-processing.
+
+    Applies the normalise-round-adjust procedure of
+    :func:`allocation_from_weights` to every row of a weight matrix at once:
+    the clip/normalise/scale/floor steps run as single array operations over
+    the whole batch, and only rows whose floored allocation under-shoots the
+    demand fall back to the (tiny) per-row remainder-distribution loop.  Row
+    ``b`` of the result is identical to
+    ``allocation_from_weights(weights[b], totals[b], capacities[b])``.
+
+    Parameters
+    ----------
+    weights:
+        Array of shape ``(B, k)`` — one unnormalised weight vector per job.
+    totals:
+        Array of shape ``(B,)`` — the qubit demand of each job (all positive).
+    capacities:
+        Per-device free capacities, shape ``(B, k)`` or ``(k,)`` (shared by
+        all rows).
+    epsilon:
+        Stabiliser added to the clipped weights before normalisation.
+
+    Returns
+    -------
+    Integer allocation matrix of shape ``(B, k)`` with each row summing to its
+    demand and respecting its capacities.
+    """
+    weights_arr = np.clip(np.asarray(weights, dtype=np.float64), 0.0, None) + epsilon
+    if weights_arr.ndim != 2:
+        raise ValueError(f"weights must be 2-D (B, k), got shape {weights_arr.shape}")
+    batch, k = weights_arr.shape
+    totals_arr = np.asarray(totals, dtype=np.int64).reshape(-1)
+    if totals_arr.shape[0] != batch:
+        raise ValueError(f"got {totals_arr.shape[0]} totals for a batch of {batch}")
+    caps = np.asarray(capacities, dtype=np.int64)
+    if caps.ndim == 1:
+        caps = np.broadcast_to(caps, (batch, k))
+    if caps.shape != (batch, k):
+        raise ValueError(f"capacities shape {caps.shape} does not match weights {weights_arr.shape}")
+    if np.any(totals_arr <= 0):
+        raise ValueError("totals must be positive")
+    if np.any(caps < 0):
+        raise ValueError("capacities must be non-negative")
+    short = caps.sum(axis=1) < totals_arr
+    if np.any(short):
+        b = int(np.flatnonzero(short)[0])
+        raise ValueError(
+            f"insufficient capacity in row {b}: need {totals_arr[b]}, have {caps[b].sum()}"
+        )
+
+    raw = weights_arr / weights_arr.sum(axis=1, keepdims=True) * totals_arr[:, None]
+    allocation = np.minimum(np.floor(raw), caps).astype(np.int64)
+    remaining = totals_arr - allocation.sum(axis=1)
+    needs_fixup = np.flatnonzero(remaining > 0)
+    if needs_fixup.size:
+        # Same remainder rule as the scalar path: visit devices in order of
+        # largest fractional part (ties broken by headroom), one qubit at a
+        # time, skipping devices already at capacity.
+        frac_part = raw - np.floor(raw)
+        order = np.argsort(-(frac_part + 1e-9 * caps), axis=1)
+        for b in needs_fixup:
+            rem = int(remaining[b])
+            row, caps_row, order_row = allocation[b], caps[b], order[b]
+            idx = 0
+            while rem > 0:
+                i = order_row[idx % k]
+                if caps_row[i] - row[i] > 0:
+                    row[i] += 1
+                    rem -= 1
+                idx += 1
+    return allocation

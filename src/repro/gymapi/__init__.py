@@ -12,10 +12,14 @@ so this subpackage provides a drop-in substitute with the same signatures:
 * common wrappers (:class:`~repro.gymapi.wrappers.TimeLimit`,
   :class:`~repro.gymapi.wrappers.ClipAction`,
   :class:`~repro.gymapi.wrappers.NormalizeObservation`,
-  :class:`~repro.gymapi.wrappers.RecordEpisodeStatistics`).
+  :class:`~repro.gymapi.wrappers.RecordEpisodeStatistics`),
+* :mod:`~repro.gymapi.vector` with the batched-environment API
+  (:class:`~repro.gymapi.vector.VecEnv`,
+  :class:`~repro.gymapi.vector.SyncVecEnv`) used by vectorized PPO rollout
+  collection.
 """
 
-from repro.gymapi import spaces, wrappers
+from repro.gymapi import spaces, vector, wrappers
 from repro.gymapi.core import (
     ActionWrapper,
     Env,
@@ -24,14 +28,18 @@ from repro.gymapi.core import (
     Wrapper,
 )
 from repro.gymapi.seeding import np_random
+from repro.gymapi.vector import SyncVecEnv, VecEnv
 
 __all__ = [
     "ActionWrapper",
     "Env",
     "ObservationWrapper",
     "RewardWrapper",
+    "SyncVecEnv",
+    "VecEnv",
     "Wrapper",
     "np_random",
     "spaces",
+    "vector",
     "wrappers",
 ]

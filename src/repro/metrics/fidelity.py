@@ -10,13 +10,24 @@ calibration error rates — no state-vector simulation is involved (§7.2).
 * Final fidelity (Eq. 8):           ``F_final = mean(F_dev) * phi ** (N_devices - 1)``
 
 with the communication penalty factor ``phi = 0.95`` per inter-device link.
+
+The elementary kernels (:func:`single_qubit_fidelity`,
+:func:`two_qubit_fidelity`, :func:`readout_fidelity`,
+:func:`communication_penalty`) accept either scalars or NumPy arrays: scalar
+inputs return a Python ``float`` exactly as before, while array inputs
+broadcast elementwise and return ``float64`` arrays.  The array form is what
+lets :class:`repro.rlenv.batched_env.BatchedQCloudEnv` score a whole batch of
+allocations with a handful of vectorized operations instead of a Python loop
+per device.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Sequence, Union
+
+import numpy as np
 
 __all__ = [
     "DEFAULT_COMMUNICATION_PENALTY",
@@ -33,47 +44,90 @@ __all__ = [
 DEFAULT_COMMUNICATION_PENALTY = 0.95
 
 
+#: Scalars or broadcastable float64 arrays — all elementary kernels take both.
+ArrayLike = Union[float, int, np.ndarray]
+
+
 def _check_probability(name: str, value: float) -> None:
     if not 0.0 <= value <= 1.0:
         raise ValueError(f"{name} must be a probability in [0, 1], got {value}")
 
 
-def single_qubit_fidelity(avg_single_qubit_error: float, depth: int) -> float:
+def _check_probability_array(name: str, value: np.ndarray) -> None:
+    if np.any(value < 0.0) or np.any(value > 1.0):
+        raise ValueError(f"{name} must contain probabilities in [0, 1]")
+
+
+def _any_array(*values: ArrayLike) -> bool:
+    """True when at least one argument is a (non-scalar) ndarray."""
+    return any(np.ndim(v) > 0 for v in values)
+
+
+def single_qubit_fidelity(avg_single_qubit_error: ArrayLike, depth: ArrayLike) -> ArrayLike:
     """Single-qubit fidelity ``F_1Q = (1 - ε_1Q)^d`` (Eq. 4).
 
     Parameters
     ----------
     avg_single_qubit_error:
-        Average single-qubit gate error rate of the device.
+        Average single-qubit gate error rate of the device.  Scalar or array
+        (arrays broadcast elementwise against *depth*).
     depth:
         Circuit depth ``d`` — the number of layers over which single-qubit
         errors compound.
     """
+    if _any_array(avg_single_qubit_error, depth):
+        error = np.asarray(avg_single_qubit_error, dtype=np.float64)
+        depth_arr = np.asarray(depth, dtype=np.float64)
+        _check_probability_array("avg_single_qubit_error", error)
+        if np.any(depth_arr < 0):
+            raise ValueError("depth must be non-negative")
+        return (1.0 - error) ** depth_arr
     _check_probability("avg_single_qubit_error", avg_single_qubit_error)
     if depth < 0:
         raise ValueError("depth must be non-negative")
     return (1.0 - avg_single_qubit_error) ** depth
 
 
-def two_qubit_fidelity(avg_two_qubit_error: float, num_two_qubit_gates: float) -> float:
+def two_qubit_fidelity(avg_two_qubit_error: ArrayLike, num_two_qubit_gates: ArrayLike) -> ArrayLike:
     """Two-qubit fidelity ``F_2Q = (1 - ε_2Q)^sqrt(N_2Q)`` (Eq. 5).
 
     The square-root exponent moderates the naive independent-error product,
     reflecting that not every two-qubit gate contributes a full independent
-    error to the measured observable.
+    error to the measured observable.  Scalar or array inputs (arrays
+    broadcast elementwise).
     """
+    if _any_array(avg_two_qubit_error, num_two_qubit_gates):
+        error = np.asarray(avg_two_qubit_error, dtype=np.float64)
+        gates = np.asarray(num_two_qubit_gates, dtype=np.float64)
+        _check_probability_array("avg_two_qubit_error", error)
+        if np.any(gates < 0):
+            raise ValueError("num_two_qubit_gates must be non-negative")
+        return (1.0 - error) ** np.sqrt(gates)
     _check_probability("avg_two_qubit_error", avg_two_qubit_error)
     if num_two_qubit_gates < 0:
         raise ValueError("num_two_qubit_gates must be non-negative")
     return (1.0 - avg_two_qubit_error) ** math.sqrt(num_two_qubit_gates)
 
 
-def readout_fidelity(avg_readout_error: float, num_qubits: int, num_devices: int = 1) -> float:
+def readout_fidelity(
+    avg_readout_error: ArrayLike, num_qubits: ArrayLike, num_devices: ArrayLike = 1
+) -> ArrayLike:
     """Readout fidelity ``F_ro = (1 - ε_ro)^sqrt(N_qubits / N_devices)`` (Eq. 6).
 
     Splitting a circuit over more devices reduces the number of qubits
-    measured per device, which this exponent captures.
+    measured per device, which this exponent captures.  Scalar or array
+    inputs (arrays broadcast elementwise).
     """
+    if _any_array(avg_readout_error, num_qubits, num_devices):
+        error = np.asarray(avg_readout_error, dtype=np.float64)
+        qubits = np.asarray(num_qubits, dtype=np.float64)
+        devices = np.asarray(num_devices, dtype=np.float64)
+        _check_probability_array("avg_readout_error", error)
+        if np.any(qubits < 0):
+            raise ValueError("num_qubits must be non-negative")
+        if np.any(devices <= 0):
+            raise ValueError("num_devices must be positive")
+        return (1.0 - error) ** np.sqrt(qubits / devices)
     _check_probability("avg_readout_error", avg_readout_error)
     if num_qubits < 0:
         raise ValueError("num_qubits must be non-negative")
@@ -100,9 +154,18 @@ def device_fidelity(
 
 
 def communication_penalty(
-    num_devices: int, phi: float = DEFAULT_COMMUNICATION_PENALTY
-) -> float:
-    """Inter-device communication penalty ``phi^(N_devices - 1)`` (Eq. 8)."""
+    num_devices: ArrayLike, phi: float = DEFAULT_COMMUNICATION_PENALTY
+) -> ArrayLike:
+    """Inter-device communication penalty ``phi^(N_devices - 1)`` (Eq. 8).
+
+    *num_devices* may be a scalar or an array (elementwise penalties).
+    """
+    if _any_array(num_devices):
+        devices = np.asarray(num_devices, dtype=np.float64)
+        if np.any(devices <= 0):
+            raise ValueError("num_devices must be positive")
+        _check_probability("phi", phi)
+        return phi ** (devices - 1.0)
     if num_devices <= 0:
         raise ValueError("num_devices must be positive")
     _check_probability("phi", phi)

@@ -12,9 +12,11 @@ subpackage implements the full stack from scratch on top of NumPy:
 * :mod:`repro.rl.distributions` — diagonal Gaussian and categorical action
   distributions,
 * :mod:`repro.rl.policies` — the actor-critic MLP policy,
-* :mod:`repro.rl.buffers` — rollout storage with GAE(λ) advantage estimation,
+* :mod:`repro.rl.buffers` — rollout storage with GAE(λ) advantage estimation
+  and an optional ``n_envs`` batch axis,
 * :mod:`repro.rl.ppo` — the clipped-surrogate PPO algorithm with the same
-  default hyperparameters as Stable-Baselines3,
+  default hyperparameters as Stable-Baselines3 and vectorized rollout
+  collection over :mod:`repro.gymapi.vector` environments,
 * :mod:`repro.rl.logger` / :mod:`repro.rl.callbacks` — training diagnostics
   (used to regenerate the paper's Fig. 5 training curves).
 """

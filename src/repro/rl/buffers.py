@@ -1,12 +1,29 @@
-"""Rollout storage with Generalised Advantage Estimation (GAE)."""
+"""Rollout storage with Generalised Advantage Estimation (GAE).
+
+The buffer supports an optional environment batch axis (``n_envs``): with the
+default ``n_envs=1`` every array keeps its historical 1-environment shape
+(``(buffer_size,)`` / ``(buffer_size, dim)``) and all results are bit-for-bit
+identical to the original single-environment implementation; with
+``n_envs > 1`` the storage grows a batch axis (``(buffer_size, n_envs, ...)``)
+filled by vectorized rollout collection, GAE runs once over ``(n_envs,)``
+vectors per time step, and mini-batches are served from the
+``buffer_size * n_envs`` flattened transitions.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, Optional, Union
 
 import numpy as np
 
 __all__ = ["RolloutBuffer"]
+
+FloatOrArray = Union[float, np.ndarray]
+
+
+def _as_float(value: Union[bool, float, np.ndarray]) -> float:
+    """Convert a scalar or size-1 array to a Python float."""
+    return float(np.asarray(value, dtype=np.float64).reshape(()))
 
 
 class RolloutBuffer:
@@ -20,12 +37,17 @@ class RolloutBuffer:
     Parameters
     ----------
     buffer_size:
-        Number of environment steps per rollout (PPO's ``n_steps``).
+        Number of environment *vector* steps per rollout — PPO's
+        ``n_steps // n_envs``.  Total stored transitions are
+        ``buffer_size * n_envs``.
     obs_dim, action_dim:
         Dimensionality of observations and (continuous) actions.  For
         discrete actions, ``action_dim`` should be 1.
     gamma, gae_lambda:
         Discount factor and GAE smoothing factor.
+    n_envs:
+        Number of parallel environments feeding the buffer (default 1, which
+        preserves the original single-environment array shapes exactly).
     """
 
     def __init__(
@@ -35,9 +57,12 @@ class RolloutBuffer:
         action_dim: int,
         gamma: float = 0.99,
         gae_lambda: float = 0.95,
+        n_envs: int = 1,
     ) -> None:
         if buffer_size <= 0:
             raise ValueError("buffer_size must be > 0")
+        if n_envs <= 0:
+            raise ValueError("n_envs must be > 0")
         if not 0.0 <= gamma <= 1.0:
             raise ValueError("gamma must be in [0, 1]")
         if not 0.0 <= gae_lambda <= 1.0:
@@ -47,61 +72,97 @@ class RolloutBuffer:
         self.action_dim = int(action_dim)
         self.gamma = float(gamma)
         self.gae_lambda = float(gae_lambda)
+        self.n_envs = int(n_envs)
         self.reset()
+
+    @property
+    def total_transitions(self) -> int:
+        """Number of transitions held by a full buffer."""
+        return self.buffer_size * self.n_envs
+
+    def _batch_shape(self, *trailing: int) -> tuple:
+        if self.n_envs == 1:
+            return (self.buffer_size, *trailing)
+        return (self.buffer_size, self.n_envs, *trailing)
 
     def reset(self) -> None:
         """Clear the buffer and reallocate storage."""
-        n, d_obs, d_act = self.buffer_size, self.obs_dim, self.action_dim
-        self.observations = np.zeros((n, d_obs), dtype=np.float64)
-        self.actions = np.zeros((n, d_act), dtype=np.float64)
-        self.rewards = np.zeros(n, dtype=np.float64)
-        self.episode_starts = np.zeros(n, dtype=np.float64)
-        self.values = np.zeros(n, dtype=np.float64)
-        self.log_probs = np.zeros(n, dtype=np.float64)
-        self.advantages = np.zeros(n, dtype=np.float64)
-        self.returns = np.zeros(n, dtype=np.float64)
+        self.observations = np.zeros(self._batch_shape(self.obs_dim), dtype=np.float64)
+        self.actions = np.zeros(self._batch_shape(self.action_dim), dtype=np.float64)
+        self.rewards = np.zeros(self._batch_shape(), dtype=np.float64)
+        self.episode_starts = np.zeros(self._batch_shape(), dtype=np.float64)
+        self.values = np.zeros(self._batch_shape(), dtype=np.float64)
+        self.log_probs = np.zeros(self._batch_shape(), dtype=np.float64)
+        self.advantages = np.zeros(self._batch_shape(), dtype=np.float64)
+        self.returns = np.zeros(self._batch_shape(), dtype=np.float64)
         self.pos = 0
         self.full = False
+        self._flat_cache: Optional[Dict[str, np.ndarray]] = None
 
     def add(
         self,
         obs: np.ndarray,
         action: np.ndarray,
-        reward: float,
-        episode_start: bool,
-        value: float,
-        log_prob: float,
+        reward: FloatOrArray,
+        episode_start: Union[bool, np.ndarray],
+        value: FloatOrArray,
+        log_prob: FloatOrArray,
     ) -> None:
-        """Append a single transition."""
+        """Append one transition per environment (a whole vector step)."""
         if self.full:
             raise RuntimeError("RolloutBuffer is full; call reset() before adding more data")
-        self.observations[self.pos] = np.asarray(obs, dtype=np.float64).reshape(-1)
-        self.actions[self.pos] = np.asarray(action, dtype=np.float64).reshape(-1)
-        self.rewards[self.pos] = float(reward)
-        self.episode_starts[self.pos] = float(episode_start)
-        self.values[self.pos] = float(value)
-        self.log_probs[self.pos] = float(log_prob)
+        if self.n_envs == 1:
+            self.observations[self.pos] = np.asarray(obs, dtype=np.float64).reshape(-1)
+            self.actions[self.pos] = np.asarray(action, dtype=np.float64).reshape(-1)
+            self.rewards[self.pos] = _as_float(reward)
+            self.episode_starts[self.pos] = _as_float(episode_start)
+            self.values[self.pos] = _as_float(value)
+            self.log_probs[self.pos] = _as_float(log_prob)
+        else:
+            self.observations[self.pos] = np.asarray(obs, dtype=np.float64).reshape(
+                self.n_envs, self.obs_dim
+            )
+            self.actions[self.pos] = np.asarray(action, dtype=np.float64).reshape(
+                self.n_envs, self.action_dim
+            )
+            self.rewards[self.pos] = np.asarray(reward, dtype=np.float64).reshape(self.n_envs)
+            self.episode_starts[self.pos] = np.asarray(episode_start, dtype=np.float64).reshape(
+                self.n_envs
+            )
+            self.values[self.pos] = np.asarray(value, dtype=np.float64).reshape(self.n_envs)
+            self.log_probs[self.pos] = np.asarray(log_prob, dtype=np.float64).reshape(self.n_envs)
         self.pos += 1
         if self.pos == self.buffer_size:
             self.full = True
 
-    def compute_returns_and_advantage(self, last_value: float, done: bool) -> None:
+    def compute_returns_and_advantage(
+        self, last_value: FloatOrArray, done: Union[bool, np.ndarray]
+    ) -> None:
         """Compute GAE(λ) advantages and discounted returns.
 
         Parameters
         ----------
         last_value:
-            Value estimate of the state following the final transition.
+            Value estimate of the state following each environment's final
+            transition — a float (``n_envs == 1``) or an ``(n_envs,)`` array.
         done:
-            Whether the final transition terminated the episode.
+            Whether each environment's final transition terminated its
+            episode — a bool or an ``(n_envs,)`` array.
         """
         if not self.full:
             raise RuntimeError("Rollout is not complete")
-        last_gae = 0.0
+        if self.n_envs == 1:
+            last_values: FloatOrArray = _as_float(last_value)
+            next_episode_start: FloatOrArray = _as_float(done)
+            last_gae: FloatOrArray = 0.0
+        else:
+            last_values = np.asarray(last_value, dtype=np.float64).reshape(self.n_envs)
+            next_episode_start = np.asarray(done, dtype=np.float64).reshape(self.n_envs)
+            last_gae = np.zeros(self.n_envs, dtype=np.float64)
         for step in reversed(range(self.buffer_size)):
             if step == self.buffer_size - 1:
-                next_non_terminal = 1.0 - float(done)
-                next_value = float(last_value)
+                next_non_terminal = 1.0 - next_episode_start
+                next_value = last_values
             else:
                 next_non_terminal = 1.0 - self.episode_starts[step + 1]
                 next_value = self.values[step + 1]
@@ -109,6 +170,13 @@ class RolloutBuffer:
             last_gae = delta + self.gamma * self.gae_lambda * next_non_terminal * last_gae
             self.advantages[step] = last_gae
         self.returns = self.advantages + self.values
+        self._flat_cache = None
+
+    def _flatten(self, array: np.ndarray) -> np.ndarray:
+        """Collapse the (time, env) axes into one transition axis (env-major)."""
+        if self.n_envs == 1:
+            return array
+        return array.swapaxes(0, 1).reshape(self.total_transitions, *array.shape[2:])
 
     def get(
         self, batch_size: Optional[int] = None, rng: Optional[np.random.Generator] = None
@@ -117,24 +185,31 @@ class RolloutBuffer:
         if not self.full:
             raise RuntimeError("Rollout is not complete")
         rng = rng if rng is not None else np.random.default_rng()
-        indices = rng.permutation(self.buffer_size)
-        if batch_size is None or batch_size >= self.buffer_size:
-            batch_size = self.buffer_size
-        start = 0
-        while start < self.buffer_size:
-            idx = indices[start : start + batch_size]
-            yield {
-                "observations": self.observations[idx],
-                "actions": self.actions[idx],
-                "old_values": self.values[idx],
-                "old_log_probs": self.log_probs[idx],
-                "advantages": self.advantages[idx],
-                "returns": self.returns[idx],
+        total = self.total_transitions
+        indices = rng.permutation(total)
+        if batch_size is None or batch_size >= total:
+            batch_size = total
+        if self._flat_cache is None:
+            # Flatten once per rollout, not once per epoch: for n_envs > 1 the
+            # swap-and-flatten copies all six arrays, and PPO calls get() once
+            # per training epoch over the same completed rollout.
+            self._flat_cache = {
+                "observations": self._flatten(self.observations),
+                "actions": self._flatten(self.actions),
+                "old_values": self._flatten(self.values),
+                "old_log_probs": self._flatten(self.log_probs),
+                "advantages": self._flatten(self.advantages),
+                "returns": self._flatten(self.returns),
             }
+        flat = self._flat_cache
+        start = 0
+        while start < total:
+            idx = indices[start : start + batch_size]
+            yield {key: array[idx] for key, array in flat.items()}
             start += batch_size
 
     def __len__(self) -> int:
-        return self.pos
+        return self.pos * self.n_envs
 
     def explained_variance(self) -> float:
         """Fraction of return variance explained by the value predictions."""

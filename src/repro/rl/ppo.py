@@ -1,11 +1,21 @@
 """Proximal Policy Optimization (clipped surrogate objective).
 
-This is a single-environment, NumPy-only PPO implementation whose defaults
-match Stable-Baselines3 (``n_steps=2048``, ``batch_size=64``,
-``n_epochs=10``, ``gamma=0.99``, ``gae_lambda=0.95``, ``clip_range=0.2``,
-``ent_coef=0.0``, ``vf_coef=0.5``, ``max_grad_norm=0.5``, Adam with
-``lr=3e-4``), because the paper reports training its allocation agent with
-"default hyperparameters" (§6.6).
+This is a NumPy-only PPO implementation whose defaults match
+Stable-Baselines3 (``n_steps=2048``, ``batch_size=64``, ``n_epochs=10``,
+``gamma=0.99``, ``gae_lambda=0.95``, ``clip_range=0.2``, ``ent_coef=0.0``,
+``vf_coef=0.5``, ``max_grad_norm=0.5``, Adam with ``lr=3e-4``), because the
+paper reports training its allocation agent with "default hyperparameters"
+(§6.6).
+
+Rollout collection is vectorized: the algorithm accepts either a scalar
+:class:`~repro.gymapi.core.Env` (wrapped in a 1-environment
+:class:`~repro.gymapi.vector.SyncVecEnv`) or any
+:class:`~repro.gymapi.vector.VecEnv`, and steps the vector
+``n_steps // n_envs`` times per rollout with ``(n_envs, obs_dim)`` policy
+forwards.  With a single environment every array op, RNG draw and update is
+identical to the historical serial implementation — same seeds produce
+bit-identical training curves — while ``n_envs > 1`` amortises rollout
+collection into a handful of large matmuls per vector step.
 
 The gradient of the clipped surrogate, the entropy bonus and the value loss
 are derived analytically and pushed through the policy's MLP towers with the
@@ -15,6 +25,7 @@ against finite differences in the test suite.
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from typing import Any, Callable, Dict, Optional, Union
 
@@ -22,6 +33,7 @@ import numpy as np
 
 from repro.gymapi.core import Env
 from repro.gymapi.spaces import Box, Discrete
+from repro.gymapi.vector import SyncVecEnv, VecEnv
 from repro.rl.buffers import RolloutBuffer
 from repro.rl.callbacks import BaseCallback, CallbackList
 from repro.rl.distributions import Categorical, DiagGaussian
@@ -42,7 +54,7 @@ def _as_schedule(value: ScheduleOrFloat) -> Callable[[float], float]:
 
 
 class PPO:
-    """Proximal Policy Optimization for a single (non-vectorised) environment.
+    """Proximal Policy Optimization over a (possibly vectorized) environment.
 
     Parameters
     ----------
@@ -50,19 +62,26 @@ class PPO:
         Either the string ``"MlpPolicy"`` or an :class:`ActorCriticPolicy`
         instance.
     env:
-        An environment following the :class:`repro.gymapi.core.Env` API.
+        A scalar environment following the :class:`repro.gymapi.core.Env` API
+        (stepped through a 1-environment
+        :class:`~repro.gymapi.vector.SyncVecEnv`, bit-identical to the
+        historical serial implementation) or a
+        :class:`~repro.gymapi.vector.VecEnv` whose ``num_envs`` sets the
+        rollout batch width.
     learning_rate, n_steps, batch_size, n_epochs, gamma, gae_lambda,
     clip_range, ent_coef, vf_coef, max_grad_norm, target_kl:
-        Standard PPO hyperparameters (SB3 defaults).
+        Standard PPO hyperparameters (SB3 defaults).  ``n_steps`` counts
+        *total* transitions per rollout across all environments and must be
+        divisible by ``num_envs``.
     seed:
-        Seed for policy initialisation, action sampling and mini-batch
-        shuffling.
+        Seed for policy initialisation, action sampling, environment seeding
+        and mini-batch shuffling.
     """
 
     def __init__(
         self,
         policy: Union[str, ActorCriticPolicy],
-        env: Env,
+        env: Union[Env, VecEnv],
         learning_rate: ScheduleOrFloat = 3e-4,
         n_steps: int = 2048,
         batch_size: int = 64,
@@ -80,6 +99,8 @@ class PPO:
         verbose: int = 0,
     ) -> None:
         self.env = env
+        self.vec_env: VecEnv = env if isinstance(env, VecEnv) else SyncVecEnv([env])
+        self.n_envs = int(self.vec_env.num_envs)
         self.n_steps = int(n_steps)
         self.batch_size = int(batch_size)
         self.n_epochs = int(n_epochs)
@@ -96,29 +117,45 @@ class PPO:
         self.seed = seed
         self.rng = np.random.default_rng(seed)
 
+        if self.n_steps % self.n_envs != 0:
+            raise ValueError(
+                f"n_steps={self.n_steps} must be divisible by the number of "
+                f"environments (n_envs={self.n_envs})"
+            )
         if self.n_steps % self.batch_size != 0:
-            # Not an error, but warn in the logger that minibatches are uneven.
-            pass
+            warnings.warn(
+                f"n_steps={self.n_steps} is not a multiple of batch_size={self.batch_size}; "
+                "the final mini-batch of each epoch will be smaller than the others",
+                UserWarning,
+                stacklevel=2,
+            )
 
+        observation_space = self.vec_env.observation_space
+        action_space = self.vec_env.action_space
         if isinstance(policy, str):
             if policy != "MlpPolicy":
                 raise ValueError(f"Unknown policy {policy!r}; only 'MlpPolicy' is supported")
             kwargs = dict(policy_kwargs or {})
             kwargs.setdefault("seed", seed)
-            self.policy = ActorCriticPolicy(env.observation_space, env.action_space, **kwargs)
+            self.policy = ActorCriticPolicy(observation_space, action_space, **kwargs)
         else:
             self.policy = policy
 
-        obs_dim = env.observation_space.shape[0]
-        if isinstance(env.action_space, Box):
-            action_dim = env.action_space.shape[0]
-        elif isinstance(env.action_space, Discrete):
+        obs_dim = observation_space.shape[0]
+        if isinstance(action_space, Box):
+            action_dim = action_space.shape[0]
+        elif isinstance(action_space, Discrete):
             action_dim = 1
         else:
-            raise TypeError(f"Unsupported action space {env.action_space!r}")
+            raise TypeError(f"Unsupported action space {action_space!r}")
 
         self.rollout_buffer = RolloutBuffer(
-            self.n_steps, obs_dim, action_dim, gamma=self.gamma, gae_lambda=self.gae_lambda
+            self.n_steps // self.n_envs,
+            obs_dim,
+            action_dim,
+            gamma=self.gamma,
+            gae_lambda=self.gae_lambda,
+            n_envs=self.n_envs,
         )
         self.optimizer = Adam(self.policy.parameters(), lr=self.lr_schedule(1.0), eps=1e-5)
         self.logger = TrainingLogger()
@@ -128,9 +165,9 @@ class PPO:
         self._ep_info_buffer: deque = deque(maxlen=100)
         self._env_seeded = False
         self._last_obs: Optional[np.ndarray] = None
-        self._last_episode_start = True
-        self._current_ep_return = 0.0
-        self._current_ep_length = 0
+        self._last_episode_starts = np.ones(self.n_envs, dtype=bool)
+        self._current_ep_returns = np.zeros(self.n_envs, dtype=np.float64)
+        self._current_ep_lengths = np.zeros(self.n_envs, dtype=np.int64)
 
     # ------------------------------------------------------------------ #
     # Rollout collection
@@ -143,64 +180,74 @@ class PPO:
         return max(0.0, 1.0 - self.num_timesteps / self._total_timesteps)
 
     def _reset_env(self) -> None:
-        # Seed the environment on the very first reset so that seeded training
-        # runs are fully reproducible; later resets must not re-seed (that
-        # would make every episode identical).
+        # Seed the environments on the very first reset so that seeded
+        # training runs are fully reproducible; later resets must not re-seed
+        # (that would make every episode identical).
         if not self._env_seeded and self.seed is not None:
-            obs, _info = self.env.reset(seed=self.seed)
+            obs, _infos = self.vec_env.reset(seed=self.seed)
         else:
-            obs, _info = self.env.reset()
+            obs, _infos = self.vec_env.reset()
         self._env_seeded = True
         self._last_obs = np.asarray(obs, dtype=np.float64)
-        self._last_episode_start = True
-        self._current_ep_return = 0.0
-        self._current_ep_length = 0
+        self._last_episode_starts = np.ones(self.n_envs, dtype=bool)
+        self._current_ep_returns = np.zeros(self.n_envs, dtype=np.float64)
+        self._current_ep_lengths = np.zeros(self.n_envs, dtype=np.int64)
 
     def collect_rollouts(self) -> None:
-        """Fill the rollout buffer with ``n_steps`` transitions."""
+        """Fill the rollout buffer with ``n_steps`` transitions.
+
+        The vector environment is stepped ``n_steps // n_envs`` times; each
+        step is one ``(n_envs, obs_dim)`` policy forward and one batched
+        environment transition.  Sub-environments auto-reset on episode end,
+        and completed-episode statistics land in the episode info buffer in
+        environment order.
+        """
         if self._last_obs is None:
             self._reset_env()
         self.rollout_buffer.reset()
+        action_space = self.vec_env.action_space
+        is_box = isinstance(action_space, Box)
 
-        for _ in range(self.n_steps):
+        for _ in range(self.n_steps // self.n_envs):
             assert self._last_obs is not None
-            actions, values, log_probs = self.policy.forward(self._last_obs[None, :])
-            action = actions[0]
-            if isinstance(self.env.action_space, Box):
-                clipped_action = np.clip(action, self.env.action_space.low, self.env.action_space.high)
+            actions, values, log_probs = self.policy.forward(self._last_obs)
+            if is_box:
+                clipped_actions = np.clip(actions, action_space.low, action_space.high)
+                buffer_actions = actions
             else:
-                clipped_action = int(action)
+                clipped_actions = actions
+                buffer_actions = np.asarray(actions, dtype=np.float64).reshape(self.n_envs, 1)
 
-            obs, reward, terminated, truncated, _info = self.env.step(clipped_action)
-            done = bool(terminated or truncated)
+            obs, rewards, terminated, truncated, _infos = self.vec_env.step(clipped_actions)
+            dones = np.logical_or(terminated, truncated)
 
-            buffer_action = action if isinstance(self.env.action_space, Box) else np.asarray([action])
             self.rollout_buffer.add(
                 self._last_obs,
-                buffer_action,
-                float(reward),
-                self._last_episode_start,
-                float(values[0]),
-                float(log_probs[0]),
+                buffer_actions,
+                rewards,
+                self._last_episode_starts,
+                values,
+                log_probs,
             )
-            self.num_timesteps += 1
-            self._current_ep_return += float(reward)
-            self._current_ep_length += 1
-            self._last_episode_start = done
+            self.num_timesteps += self.n_envs
+            self._current_ep_returns += rewards
+            self._current_ep_lengths += 1
 
-            if done:
+            for i in np.flatnonzero(dones):
                 self._ep_info_buffer.append(
-                    {"r": self._current_ep_return, "l": self._current_ep_length}
+                    {"r": float(self._current_ep_returns[i]), "l": int(self._current_ep_lengths[i])}
                 )
-                obs, _info = self.env.reset()
-                self._current_ep_return = 0.0
-                self._current_ep_length = 0
+                self._current_ep_returns[i] = 0.0
+                self._current_ep_lengths[i] = 0
 
+            self._last_episode_starts = dones
             self._last_obs = np.asarray(obs, dtype=np.float64)
 
-        # Bootstrap the value of the final state.
-        last_value = float(self.policy.value(self._last_obs[None, :])[0])
-        self.rollout_buffer.compute_returns_and_advantage(last_value, done=self._last_episode_start)
+        # Bootstrap the value of each environment's final state.
+        last_values = self.policy.value(self._last_obs)
+        self.rollout_buffer.compute_returns_and_advantage(
+            last_values, done=self._last_episode_starts
+        )
 
     # ------------------------------------------------------------------ #
     # Gradient update

@@ -1,0 +1,97 @@
+"""Shared fleet preparation for the scalar and batched allocation MDPs.
+
+:class:`~repro.rlenv.qcloud_env.QCloudGymEnv` and
+:class:`~repro.rlenv.batched_env.BatchedQCloudEnv` implement the same MDP
+over the same fleet; this module holds the single source of truth for the
+fleet validation rules and the static parts of the §4.1 observation layout so
+the two environments cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hardware.backends import DeviceProfile, build_default_fleet
+from repro.metrics.error_score import error_score
+from repro.scheduling.rl_policy import CLOPS_NORM
+
+__all__ = ["FleetSpec", "prepare_fleet"]
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Validated fleet constants shared by the training environments.
+
+    Attributes
+    ----------
+    devices:
+        The device profiles, in fleet order.
+    capacities:
+        Per-device qubit capacities, shape ``(k,)`` int64.
+    error_scores:
+        Per-device calibration error scores, shape ``(k,)`` float64.
+    obs_template:
+        A ``(1 + 3 * max_devices,)`` observation vector with the static
+        error-score and CLOPS columns pre-filled (demand and free-level slots
+        are zero, to be rewritten per episode).
+    free_slots:
+        Indices of the per-device free-level slots in the observation.
+    """
+
+    devices: Tuple[DeviceProfile, ...]
+    capacities: np.ndarray
+    error_scores: np.ndarray
+    obs_template: np.ndarray
+    free_slots: np.ndarray
+
+
+def prepare_fleet(
+    devices: Optional[Sequence[DeviceProfile]],
+    qubit_range: Tuple[int, int],
+    max_devices: int,
+) -> FleetSpec:
+    """Validate the fleet/job-range combination and precompute constants.
+
+    Raises ``ValueError`` under the same conditions as the historical
+    ``QCloudGymEnv.__init__``: more devices than observation slots, an empty
+    or non-positive qubit range, or a demand upper bound exceeding the
+    fleet's combined capacity.
+    """
+    device_list: List[DeviceProfile] = (
+        list(devices) if devices is not None else build_default_fleet()
+    )
+    if len(device_list) > max_devices:
+        raise ValueError(
+            f"{len(device_list)} devices exceed the observation's {max_devices} slots"
+        )
+    if qubit_range[0] > qubit_range[1] or qubit_range[0] <= 0:
+        raise ValueError(f"invalid qubit_range {qubit_range}")
+    total_capacity = sum(d.num_qubits for d in device_list)
+    if qubit_range[1] > total_capacity:
+        raise ValueError(
+            f"qubit_range upper bound {qubit_range[1]} exceeds fleet capacity {total_capacity}"
+        )
+
+    capacities = np.array([d.num_qubits for d in device_list], dtype=np.int64)
+    error_scores = np.array(
+        [error_score(d.calibration) for d in device_list], dtype=np.float64
+    )
+
+    # Static observation columns: slot 0 (demand) and base+0 (free level) are
+    # per-episode; base+1 (error score) and base+2 (CLOPS) never change.
+    obs_template = np.zeros(1 + 3 * max_devices, dtype=np.float64)
+    for i, device in enumerate(device_list):
+        obs_template[1 + 3 * i + 1] = float(error_scores[i])
+        obs_template[1 + 3 * i + 2] = float(device.clops) / CLOPS_NORM
+    free_slots = 1 + 3 * np.arange(len(device_list))
+
+    return FleetSpec(
+        devices=tuple(device_list),
+        capacities=capacities,
+        error_scores=error_scores,
+        obs_template=obs_template,
+        free_slots=free_slots,
+    )

@@ -27,18 +27,18 @@ import numpy as np
 from repro.circuits.partition import allocation_from_weights
 from repro.gymapi.core import Env
 from repro.gymapi.spaces import Box
-from repro.hardware.backends import DeviceProfile, build_default_fleet
-from repro.metrics.error_score import error_score
+from repro.hardware.backends import DeviceProfile
 from repro.metrics.fidelity import (
     communication_penalty,
     readout_fidelity,
     single_qubit_fidelity,
     two_qubit_fidelity,
 )
+from repro.rlenv.fleet import prepare_fleet
 from repro.scheduling.rl_policy import (
     DEFAULT_MAX_DEVICES,
     DEFAULT_MAX_QUBITS,
-    build_observation,
+    DEVICE_LEVEL_NORM,
 )
 
 __all__ = ["QCloudGymEnv"]
@@ -85,20 +85,8 @@ class QCloudGymEnv(Env):
         max_devices: int = DEFAULT_MAX_DEVICES,
         seed: Optional[int] = None,
     ) -> None:
-        self.devices: List[DeviceProfile] = (
-            list(devices) if devices is not None else build_default_fleet()
-        )
-        if len(self.devices) > max_devices:
-            raise ValueError(
-                f"{len(self.devices)} devices exceed the observation's {max_devices} slots"
-            )
-        if qubit_range[0] > qubit_range[1] or qubit_range[0] <= 0:
-            raise ValueError(f"invalid qubit_range {qubit_range}")
-        total_capacity = sum(d.num_qubits for d in self.devices)
-        if qubit_range[1] > total_capacity:
-            raise ValueError(
-                f"qubit_range upper bound {qubit_range[1]} exceeds fleet capacity {total_capacity}"
-            )
+        fleet = prepare_fleet(devices, qubit_range, max_devices)
+        self.devices: List[DeviceProfile] = list(fleet.devices)
 
         self.qubit_range = qubit_range
         self.depth_range = depth_range
@@ -109,7 +97,10 @@ class QCloudGymEnv(Env):
         self.max_qubits = int(max_qubits)
         self.max_devices = int(max_devices)
 
-        self._error_scores = [error_score(d.calibration) for d in self.devices]
+        self._error_scores = fleet.error_scores
+        self._capacities = fleet.capacities
+        self._obs_template = fleet.obs_template
+        self._free_slots = fleet.free_slots
 
         obs_dim = 1 + 3 * self.max_devices
         self.observation_space = Box(low=0.0, high=np.inf, shape=(obs_dim,), dtype=np.float64)
@@ -118,7 +109,7 @@ class QCloudGymEnv(Env):
         self._job_qubits: int = 0
         self._job_depth: int = 0
         self._job_two_qubit_gates: int = 0
-        self._free_levels: np.ndarray = np.array([d.num_qubits for d in self.devices])
+        self._free_levels: np.ndarray = self._capacities.copy()
 
         if seed is not None:
             self.reset(seed=seed)
@@ -131,25 +122,34 @@ class QCloudGymEnv(Env):
         slots = self._job_qubits * self._job_depth
         self._job_two_qubit_gates = int(round(slots * self.two_qubit_density))
 
-        capacities = np.array([d.num_qubits for d in self.devices], dtype=np.int64)
+        capacities = self._capacities
         if self.randomize_utilization:
-            # Draw free levels until the job can fit in the remaining capacity.
-            for _ in range(100):
-                fractions = rng.uniform(0.4, 1.0, size=len(self.devices))
-                free = np.floor(capacities * fractions).astype(np.int64)
-                if free.sum() >= self._job_qubits:
-                    self._free_levels = free
-                    return
+            # Rejection-sample free levels until the job fits the remaining
+            # capacity.  The first candidate is drawn on its own so the RNG
+            # stream matches the historical one-row-per-attempt loop whenever
+            # the first draw is feasible (always, for the default fleet:
+            # sum(floor(0.4 * capacity)) >= qubit_range[1]); the 99 fallback
+            # candidates are then drawn in a single vectorized call.
+            num_devices = len(self.devices)
+            free = np.floor(capacities * rng.uniform(0.4, 1.0, size=num_devices)).astype(np.int64)
+            if free.sum() >= self._job_qubits:
+                self._free_levels = free
+                return
+            fractions = rng.uniform(0.4, 1.0, size=(99, num_devices))
+            candidates = np.floor(capacities * fractions).astype(np.int64)
+            feasible = np.flatnonzero(candidates.sum(axis=1) >= self._job_qubits)
+            if feasible.size:
+                self._free_levels = candidates[feasible[0]]
+                return
         self._free_levels = capacities.copy()
 
     def _observation(self) -> np.ndarray:
-        states = [
-            (float(self._free_levels[i]), self._error_scores[i], float(d.clops))
-            for i, d in enumerate(self.devices)
-        ]
-        return build_observation(
-            self._job_qubits, states, max_devices=self.max_devices, max_qubits=self.max_qubits
-        )
+        # Equivalent to build_observation() over per-device state tuples, with
+        # the static error-score/CLOPS columns pre-filled in __init__.
+        obs = self._obs_template.copy()
+        obs[0] = self._job_qubits / float(self.max_qubits)
+        obs[self._free_slots] = self._free_levels / DEVICE_LEVEL_NORM
+        return obs
 
     def reset(
         self, *, seed: Optional[int] = None, options: Optional[Dict[str, Any]] = None

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.circuits.partition import (
     allocation_from_weights,
+    allocation_from_weights_batch,
     partition_even,
     partition_greedy_fill,
     partition_proportional,
@@ -159,3 +160,57 @@ def test_rl_action_postprocessing_properties(total, weights):
     capacities = [127] * 5
     allocation = allocation_from_weights(weights, total, capacities)
     validate_allocation(allocation, total, capacities)
+
+
+class TestAllocationFromWeightsBatch:
+    def test_rows_match_scalar_path_exactly(self):
+        rng = np.random.default_rng(0)
+        weights = rng.normal(size=(32, 5))
+        totals = rng.integers(130, 251, size=32)
+        capacities = [127] * 5
+        batch = allocation_from_weights_batch(weights, totals, capacities)
+        assert batch.shape == (32, 5)
+        for b in range(32):
+            expected = allocation_from_weights(weights[b], int(totals[b]), capacities)
+            assert batch[b].tolist() == expected
+
+    def test_per_row_capacities(self):
+        rng = np.random.default_rng(1)
+        weights = rng.uniform(0, 1, size=(16, 5))
+        capacities = rng.integers(30, 128, size=(16, 5))
+        totals = np.minimum(capacities.sum(axis=1), 250)
+        batch = allocation_from_weights_batch(weights, totals, capacities)
+        for b in range(16):
+            expected = allocation_from_weights(
+                weights[b], int(totals[b]), capacities[b].tolist()
+            )
+            assert batch[b].tolist() == expected
+            validate_allocation(batch[b].tolist(), int(totals[b]), capacities[b].tolist())
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            allocation_from_weights_batch(np.ones(5), [100], [127] * 5)  # 1-D weights
+        with pytest.raises(ValueError):
+            allocation_from_weights_batch(np.ones((2, 5)), [100], [127] * 5)  # totals len
+        with pytest.raises(ValueError):
+            allocation_from_weights_batch(np.ones((2, 5)), [100, 0], [127] * 5)  # total <= 0
+        with pytest.raises(ValueError):
+            allocation_from_weights_batch(np.ones((2, 5)), [100, 700], [127] * 5)  # capacity
+        with pytest.raises(ValueError):
+            allocation_from_weights_batch(np.ones((2, 5)), [100, 100], [127] * 4)  # shape
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=1, max_value=16),
+    )
+    def test_property_batch_equals_scalar(self, seed, batch_size):
+        rng = np.random.default_rng(seed)
+        weights = rng.normal(size=(batch_size, 5)) * 3
+        totals = rng.integers(130, 251, size=batch_size)
+        capacities = [127] * 5
+        batch = allocation_from_weights_batch(weights, totals, capacities)
+        for b in range(batch_size):
+            assert batch[b].tolist() == allocation_from_weights(
+                weights[b], int(totals[b]), capacities
+            )

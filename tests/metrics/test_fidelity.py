@@ -2,6 +2,7 @@
 
 import math
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -148,3 +149,53 @@ def test_final_fidelity_bounded_by_mean(fids, phi):
 )
 def test_single_qubit_fidelity_monotone_in_error(e, depth):
     assert single_qubit_fidelity(e, depth) >= single_qubit_fidelity(min(e * 2, 1.0), depth)
+
+
+class TestArrayKernels:
+    """The elementary kernels accept ndarray inputs (vectorized env path)."""
+
+    def test_single_qubit_matches_scalar_elementwise(self):
+        errors = np.array([0.001, 0.01, 0.05])
+        depths = np.array([5, 10, 20])
+        result = single_qubit_fidelity(errors, depths)
+        assert isinstance(result, np.ndarray)
+        for i in range(3):
+            assert result[i] == single_qubit_fidelity(float(errors[i]), int(depths[i]))
+
+    def test_two_qubit_matches_scalar_elementwise(self):
+        errors = np.array([0.005, 0.02])
+        gates = np.array([0.0, 137.5])
+        result = two_qubit_fidelity(errors, gates)
+        for i in range(2):
+            assert result[i] == two_qubit_fidelity(float(errors[i]), float(gates[i]))
+
+    def test_readout_matches_scalar_elementwise(self):
+        errors = np.array([0.01, 0.03])
+        result = readout_fidelity(errors, np.array([200, 150]), np.array([2, 3]))
+        for i, (q, k) in enumerate([(200, 2), (150, 3)]):
+            assert result[i] == readout_fidelity(float(errors[i]), q, k)
+
+    def test_communication_penalty_array(self):
+        result = communication_penalty(np.array([1, 2, 3]))
+        assert result[0] == 1.0
+        for i, k in enumerate([1, 2, 3]):
+            assert result[i] == pytest.approx(communication_penalty(k), rel=1e-15)
+
+    def test_broadcasting_scalar_against_array(self):
+        # One error rate against a (2, 3) depth grid broadcasts elementwise.
+        depths = np.arange(6).reshape(2, 3)
+        result = single_qubit_fidelity(0.01, depths)
+        assert result.shape == (2, 3)
+        assert result[0, 0] == 1.0
+
+    def test_array_validation_errors(self):
+        with pytest.raises(ValueError):
+            single_qubit_fidelity(np.array([0.5, 1.5]), 3)
+        with pytest.raises(ValueError):
+            single_qubit_fidelity(np.array([0.5]), np.array([-1]))
+        with pytest.raises(ValueError):
+            two_qubit_fidelity(np.array([0.1]), np.array([-2.0]))
+        with pytest.raises(ValueError):
+            readout_fidelity(np.array([0.1]), np.array([10]), np.array([0]))
+        with pytest.raises(ValueError):
+            communication_penalty(np.array([0]))

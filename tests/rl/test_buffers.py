@@ -147,3 +147,89 @@ class TestExplainedVariance:
             buffer.add(np.zeros(2), np.zeros(1), 1.0, True, 0.3, 0.0)
         buffer.compute_returns_and_advantage(0.0, True)
         assert np.isnan(buffer.explained_variance())
+
+
+class TestMultiEnvBuffer:
+    """Batch-axis (n_envs > 1) storage, GAE and flattening."""
+
+    def fill_vec(self, buffer, rng):
+        for _ in range(buffer.buffer_size):
+            buffer.add(
+                obs=rng.standard_normal((buffer.n_envs, buffer.obs_dim)),
+                action=rng.standard_normal((buffer.n_envs, buffer.action_dim)),
+                reward=rng.normal(size=buffer.n_envs),
+                episode_start=rng.random(buffer.n_envs) < 0.5,
+                value=rng.normal(size=buffer.n_envs),
+                log_prob=rng.normal(size=buffer.n_envs),
+            )
+
+    def test_invalid_n_envs(self):
+        with pytest.raises(ValueError):
+            RolloutBuffer(4, 2, 1, n_envs=0)
+
+    def test_shapes_grow_batch_axis(self, rng):
+        buffer = RolloutBuffer(8, 3, 2, n_envs=4)
+        assert buffer.observations.shape == (8, 4, 3)
+        assert buffer.rewards.shape == (8, 4)
+        assert buffer.total_transitions == 32
+        self.fill_vec(buffer, rng)
+        assert len(buffer) == 32
+
+    def test_gae_matches_per_env_reference(self, rng):
+        n_envs, n = 3, 16
+        buffer = RolloutBuffer(n, 2, 1, gamma=0.99, gae_lambda=0.95, n_envs=n_envs)
+        self.fill_vec(buffer, rng)
+        last_values = rng.normal(size=n_envs)
+        dones = np.array([True, False, True])
+        buffer.compute_returns_and_advantage(last_values, dones)
+        for e in range(n_envs):
+            expected = reference_gae(
+                buffer.rewards[:, e], buffer.values[:, e], buffer.episode_starts[:, e],
+                last_values[e], dones[e], 0.99, 0.95,
+            )
+            assert np.allclose(buffer.advantages[:, e], expected)
+
+    def test_vec_gae_matches_single_env_buffers(self, rng):
+        """A (n, B) buffer computes the same GAE as B separate (n,) buffers."""
+        n, n_envs = 8, 4
+        vec = RolloutBuffer(n, 2, 1, n_envs=n_envs)
+        singles = [RolloutBuffer(n, 2, 1) for _ in range(n_envs)]
+        data = rng.standard_normal((n, n_envs, 6))
+        starts = rng.random((n, n_envs)) < 0.3
+        for t in range(n):
+            vec.add(data[t, :, :2], data[t, :, 2:3], data[t, :, 3], starts[t],
+                    data[t, :, 4], data[t, :, 5])
+            for e in range(n_envs):
+                singles[e].add(data[t, e, :2], data[t, e, 2:3], float(data[t, e, 3]),
+                               bool(starts[t, e]), float(data[t, e, 4]), float(data[t, e, 5]))
+        last_values = rng.normal(size=n_envs)
+        vec.compute_returns_and_advantage(last_values, np.zeros(n_envs, dtype=bool))
+        for e in range(n_envs):
+            singles[e].compute_returns_and_advantage(float(last_values[e]), False)
+            assert np.array_equal(vec.advantages[:, e], singles[e].advantages)
+            assert np.array_equal(vec.returns[:, e], singles[e].returns)
+
+    def test_minibatches_cover_flattened_transitions(self, rng):
+        buffer = RolloutBuffer(8, 3, 2, n_envs=4)
+        self.fill_vec(buffer, rng)
+        buffer.compute_returns_and_advantage(np.zeros(4), np.ones(4, dtype=bool))
+        seen = []
+        for batch in buffer.get(16, rng=np.random.default_rng(0)):
+            assert batch["observations"].shape == (16, 3)
+            assert batch["actions"].shape == (16, 2)
+            seen.append(batch["observations"])
+        stacked = np.concatenate(seen)
+        assert stacked.shape == (32, 3)
+        flat = buffer.observations.swapaxes(0, 1).reshape(32, 3)
+        assert np.allclose(
+            flat[np.lexsort(flat.T)], stacked[np.lexsort(stacked.T)]
+        )
+
+    def test_scalar_conversions_still_accepted_for_one_env(self, rng):
+        # n_envs=1 accepts size-1 arrays (the vectorized PPO path) and floats.
+        buffer = RolloutBuffer(2, 2, 1)
+        buffer.add(np.zeros((1, 2)), np.zeros((1, 1)), np.array([1.0]),
+                   np.array([True]), np.array([0.5]), np.array([0.1]))
+        buffer.add(np.zeros(2), np.zeros(1), 2.0, False, 0.6, 0.2)
+        assert buffer.rewards.tolist() == [1.0, 2.0]
+        assert buffer.episode_starts.tolist() == [1.0, 0.0]

@@ -1,0 +1,174 @@
+"""Tests for BatchedQCloudEnv — the native vectorized allocation MDP.
+
+The key property is *per-row equivalence*: given the same job (qubit demand,
+depth, two-qubit gates, free levels) and the same action, every row of the
+batched environment must reproduce the scalar
+:class:`~repro.rlenv.qcloud_env.QCloudGymEnv` — observations and allocations
+exactly, fidelities and rewards to within one ulp (NumPy's vectorized ``pow``
+vs libm's scalar ``pow``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.gymapi.spaces import Box
+from repro.gymapi.vector import VecEnv
+from repro.rlenv.batched_env import BatchedQCloudEnv
+from repro.rlenv.qcloud_env import QCloudGymEnv
+
+
+@pytest.fixture
+def benv(default_fleet):
+    return BatchedQCloudEnv(n_envs=8, devices=default_fleet, seed=0)
+
+
+def inject_job(scalar_env, batched_env, row):
+    """Copy the batched env's row-`row` job into a scalar env."""
+    scalar_env._job_qubits = int(batched_env._job_qubits[row])
+    scalar_env._job_depth = int(batched_env._job_depths[row])
+    scalar_env._job_two_qubit_gates = int(batched_env._job_two_qubit_gates[row])
+    scalar_env._free_levels = batched_env._free_levels[row].copy()
+
+
+class TestConstruction:
+    def test_is_vecenv_with_single_env_spaces(self, benv):
+        assert isinstance(benv, VecEnv)
+        assert benv.num_envs == 8
+        assert isinstance(benv.observation_space, Box)
+        assert benv.observation_space.shape == (16,)
+        assert benv.action_space.shape == (5,)
+
+    def test_invalid_n_envs_rejected(self, default_fleet):
+        with pytest.raises(ValueError):
+            BatchedQCloudEnv(n_envs=0, devices=default_fleet)
+
+    def test_too_many_devices_rejected(self, default_fleet):
+        with pytest.raises(ValueError):
+            BatchedQCloudEnv(n_envs=2, devices=list(default_fleet) * 2)
+
+    def test_qubit_range_must_fit_fleet(self, default_fleet):
+        with pytest.raises(ValueError):
+            BatchedQCloudEnv(n_envs=2, devices=default_fleet, qubit_range=(100, 10_000))
+
+    def test_step_before_reset_raises(self, default_fleet):
+        env = BatchedQCloudEnv(n_envs=2, devices=default_fleet)
+        with pytest.raises(RuntimeError):
+            env.step(np.ones((2, 5)))
+
+
+class TestReset:
+    def test_batched_observation_shape_and_infos(self, benv):
+        obs, infos = benv.reset(seed=1)
+        assert obs.shape == (8, 16)
+        assert len(infos) == 8
+        for i, info in enumerate(infos):
+            assert 130 <= info["job_qubits"] <= 250
+            assert 5 <= info["job_depth"] <= 20
+            assert info["free_levels"].sum() >= info["job_qubits"]
+
+    def test_seeded_reset_reproducible(self, default_fleet):
+        e1 = BatchedQCloudEnv(n_envs=4, devices=default_fleet)
+        e2 = BatchedQCloudEnv(n_envs=4, devices=default_fleet)
+        o1, _ = e1.reset(seed=7)
+        o2, _ = e2.reset(seed=7)
+        assert np.array_equal(o1, o2)
+
+    def test_rows_are_distinct_jobs(self, benv):
+        benv.reset(seed=3)
+        assert len(set(benv._job_qubits.tolist())) > 1
+
+    def test_sequence_seed_rejected(self, benv):
+        with pytest.raises(TypeError):
+            benv.reset(seed=[1, 2, 3, 4, 5, 6, 7, 8])
+
+    def test_fixed_utilization_mode(self, default_fleet):
+        env = BatchedQCloudEnv(n_envs=3, devices=default_fleet, randomize_utilization=False)
+        _, infos = env.reset(seed=0)
+        for info in infos:
+            assert np.all(info["free_levels"] == 127)
+
+    def test_rejection_fallback_keeps_jobs_feasible(self, default_fleet):
+        # qubit_range above the minimum first-draw free sum (250 for this
+        # fleet) forces the batched retry/full-capacity fallback paths.
+        env = BatchedQCloudEnv(n_envs=8, devices=default_fleet, qubit_range=(260, 300), seed=5)
+        for _ in range(20):
+            _, infos = env.reset()
+            for info in infos:
+                assert info["free_levels"].sum() >= info["job_qubits"]
+
+
+class TestScalarEquivalence:
+    def test_observations_match_scalar_env(self, benv, default_fleet):
+        obs, _ = benv.reset(seed=11)
+        scalar = QCloudGymEnv(devices=default_fleet, seed=0)
+        for i in range(benv.num_envs):
+            inject_job(scalar, benv, i)
+            assert np.array_equal(scalar._observation(), obs[i])
+
+    @pytest.mark.parametrize("kwargs", [
+        {},
+        {"communication_aware": True},
+        {"include_two_qubit_errors": False},
+    ])
+    def test_step_matches_scalar_env_rewards(self, default_fleet, kwargs):
+        benv = BatchedQCloudEnv(n_envs=6, devices=default_fleet, seed=17, **kwargs)
+        benv.reset(seed=17)
+        jobs = (
+            benv._job_qubits.copy(),
+            benv._job_depths.copy(),
+            benv._job_two_qubit_gates.copy(),
+            benv._free_levels.copy(),
+        )
+        actions = np.random.default_rng(4).uniform(0.0, 1.0, size=(6, 5))
+        _, rewards, terminated, truncated, infos = benv.step(actions)
+        assert np.all(terminated)
+        assert not np.any(truncated)
+
+        scalar = QCloudGymEnv(devices=default_fleet, seed=0, **kwargs)
+        scalar.reset(seed=0)
+        for i in range(6):
+            scalar._job_qubits = int(jobs[0][i])
+            scalar._job_depth = int(jobs[1][i])
+            scalar._job_two_qubit_gates = int(jobs[2][i])
+            scalar._free_levels = jobs[3][i].copy()
+            _, r, _, _, info = scalar.step(actions[i])
+            assert infos[i]["allocation"] == info["allocation"]
+            assert infos[i]["num_devices"] == info["num_devices"]
+            # Equal to within a couple of ulps (vectorized vs scalar pow).
+            np.testing.assert_allclose(rewards[i], r, rtol=1e-14)
+            np.testing.assert_allclose(
+                infos[i]["device_fidelities"], info["device_fidelities"], rtol=1e-14
+            )
+
+    def test_concentrated_action_uses_fewer_devices(self, benv):
+        benv.reset(seed=5)
+        spread = np.ones((8, 5))
+        _, _, _, _, spread_infos = benv.step(spread)
+        # restore identical jobs for the concentrated action
+        benv.reset(seed=5)
+        conc = np.tile(np.array([10.0, 10.0, 0.0, 0.0, 0.0]), (8, 1))
+        _, _, _, _, conc_infos = benv.step(conc)
+        for s, c in zip(spread_infos, conc_infos):
+            assert c["num_devices"] <= s["num_devices"]
+
+
+class TestAutoReset:
+    def test_step_returns_next_jobs_observation(self, benv):
+        obs0, _ = benv.reset(seed=2)
+        obs1, rewards, _, _, infos = benv.step(np.ones((8, 5)))
+        assert not np.array_equal(obs0, obs1)
+        for i, info in enumerate(infos):
+            assert np.array_equal(info["final_observation"], obs0[i])
+            assert set(info["final_info"]) == {
+                "allocation", "num_devices", "device_fidelities", "job_qubits",
+            }
+        assert np.all(rewards > 0.0) and np.all(rewards <= 1.0)
+
+    def test_many_steps_stay_feasible(self, benv):
+        benv.reset(seed=8)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            _, rewards, _, _, infos = benv.step(rng.uniform(0, 1, size=(8, 5)))
+            for info in infos:
+                assert sum(info["allocation"]) == info["job_qubits"]
+            assert np.all(rewards > 0.0)

@@ -54,6 +54,14 @@ class TestReset:
         _, info = env.reset(seed=0)
         assert np.all(info["free_levels"] == 127)
 
+    def test_rejection_fallback_keeps_jobs_feasible(self, default_fleet):
+        # qubit_range above the minimum first-draw free sum (250 for this
+        # fleet) forces the bulk-drawn candidate / full-capacity fallback.
+        env = QCloudGymEnv(devices=default_fleet, qubit_range=(260, 300), seed=5)
+        for _ in range(50):
+            _, info = env.reset()
+            assert info["free_levels"].sum() >= info["job_qubits"]
+
 
 class TestStep:
     def test_single_step_episode(self, qenv):

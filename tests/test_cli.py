@@ -118,3 +118,22 @@ class TestTrain:
         curve = json.loads(open(curve_path).read())
         assert len(curve) >= 1
         assert "ep_rew_mean" in curve[0]
+
+    def test_train_vectorized_n_envs(self, capsys, tmp_path):
+        model_path = str(tmp_path / "model.npz")
+        code = main(
+            [
+                "train",
+                "--timesteps", "1024",
+                "--model", model_path,
+                "--seed", "0",
+                "--n-envs", "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "saved policy" in out
+
+    def test_train_default_n_envs_is_serial(self):
+        args = build_parser().parse_args(["train"])
+        assert args.n_envs == 1
