@@ -27,6 +27,10 @@ CASE_STUDY_JOBS = 1000 if FULL_SCALE else 120
 TRAINING_TIMESTEPS = 100_000 if FULL_SCALE else 16_384
 #: PPO rollout length used by the training benchmarks.
 TRAINING_N_STEPS = 2048 if FULL_SCALE else 1024
+#: Parallel rollout environments for the Fig. 5 / training-curve harness.
+#: The vectorized stack (PR 2) makes rollout collection severalfold faster;
+#: set ``REPRO_N_ENVS=1`` to reproduce the bit-exact serial training curve.
+TRAINING_N_ENVS = int(os.environ.get("REPRO_N_ENVS", "8"))
 #: Workload/calibration seed shared by all benchmarks.
 BENCHMARK_SEED = 2025
 
@@ -47,5 +51,6 @@ def trained_rl_model():
         total_timesteps=TRAINING_TIMESTEPS,
         n_steps=TRAINING_N_STEPS,
         seed=0,
+        n_envs=TRAINING_N_ENVS,
     )
     return model, curve

@@ -23,7 +23,7 @@ from repro.analysis.training_curve import downsample_curve, summarize_training_c
 from repro.rlenv.qcloud_env import QCloudGymEnv
 from repro.rlenv.train import evaluate_policy
 
-from benchmarks.conftest import TRAINING_TIMESTEPS
+from benchmarks.conftest import TRAINING_N_ENVS, TRAINING_TIMESTEPS
 
 
 def test_fig5_training_curve(benchmark, trained_rl_model):
@@ -44,6 +44,7 @@ def test_fig5_training_curve(benchmark, trained_rl_model):
     benchmark.extra_info.update(
         {
             "total_timesteps": TRAINING_TIMESTEPS,
+            "n_envs": TRAINING_N_ENVS,
             "initial_reward": round(stats["initial_reward"], 4),
             "final_reward": round(stats["final_reward"], 4),
             "initial_entropy_loss": round(stats["initial_entropy_loss"], 3),

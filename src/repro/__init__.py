@@ -10,8 +10,10 @@ The package is organised bottom-up:
   partitioning), :mod:`repro.metrics` (error score, timing, fidelity,
   aggregation).
 * **Framework** — :mod:`repro.cloud` (QCloudSimEnv, QCloud, QDevice, Broker,
-  JobGenerator, JobRecordsManager) and :mod:`repro.scheduling` (the four
-  allocation strategies plus baselines).
+  JobGenerator, JobRecordsManager), :mod:`repro.scheduling` (the four
+  allocation strategies plus baselines) and :mod:`repro.dynamics`
+  (non-stationary scenarios: calibration drift, outages/maintenance, traffic
+  shaping, deterministic trace record/replay).
 * **Experiments** — :mod:`repro.engine` (the parallel experiment engine:
   declarative strategy × seed × config grids, serial/process-pool execution,
   content-keyed result caching), :mod:`repro.rlenv` (the allocation MDP and
@@ -43,6 +45,7 @@ __all__ = [
     "circuits",
     "cloud",
     "des",
+    "dynamics",
     "engine",
     "gymapi",
     "hardware",

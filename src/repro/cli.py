@@ -3,12 +3,17 @@
 Exposes the framework's main workflows without writing Python::
 
     python -m repro devices                      # list the device catalogue
+    python -m repro scenarios                    # list world-dynamics presets
     python -m repro workload -n 100 -o jobs.csv  # generate a synthetic workload
     python -m repro simulate --policy speed -n 100
     python -m repro simulate --policy fidelity --jobs jobs.csv --records out.csv
+    python -m repro simulate --scenario flaky-fleet -n 100 --trace run.jsonl
+    python -m repro simulate --scenario run.jsonl -n 100   # deterministic replay
     python -m repro compare -n 200               # Table-2-style comparison
+    python -m repro compare -n 200 --scenario rush-hour
     python -m repro compare -n 200 --backend process --workers 4
     python -m repro sweep --param comm_fidelity_penalty --values 0.9 0.95 1.0
+    python -m repro sweep --param scenario --values static drift black-friday
     python -m repro train --timesteps 20000 --model policy.npz
     python -m repro simulate --policy rlbase --model policy.npz -n 100
 
@@ -78,6 +83,22 @@ def _cmd_devices(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.dynamics import available_scenarios, get_scenario
+
+    print(f"{'scenario':<14} {'drift':>5} {'outage':>6} {'maint':>5} {'traffic':>8}  description")
+    for name in available_scenarios():
+        scenario = get_scenario(name)
+        traffic = scenario.traffic.model if scenario.traffic is not None else "-"
+        print(
+            f"{name:<14} {'yes' if scenario.drift else '-':>5} "
+            f"{'yes' if scenario.outages else '-':>6} "
+            f"{len(scenario.maintenance) if scenario.maintenance else '-':>5} "
+            f"{traffic:>8}  {scenario.description}"
+        )
+    return 0
+
+
 def _cmd_workload(args: argparse.Namespace) -> int:
     from repro.cloud.io import jobs_to_csv, jobs_to_json
     from repro.cloud.job_generator import generate_synthetic_jobs
@@ -124,14 +145,32 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.cloud.io import jobs_from_csv, jobs_from_json
     from repro.cloud.records import records_to_csv
 
-    config = SimulationConfig(policy=args.policy, num_jobs=args.num_jobs, seed=args.seed)
+    config = SimulationConfig(
+        policy=args.policy, num_jobs=args.num_jobs, seed=args.seed, scenario=args.scenario
+    )
     jobs = None
     if args.jobs:
         jobs = jobs_from_json(args.jobs) if args.jobs.endswith(".json") else jobs_from_csv(args.jobs)
 
-    summary, records = run_policy_simulation(
-        config, policy=_load_policy(args), jobs=jobs, runner=_make_runner(args)
-    )
+    if args.trace:
+        # Trace recording needs the live environment, so bypass the runner.
+        if args.backend != "serial" or args.workers or args.results_dir:
+            print("note: --trace runs in-process; ignoring --backend/--workers/--results-dir",
+                  file=sys.stderr)
+        from repro.cloud.environment import QCloudSimEnv
+
+        env = QCloudSimEnv(config=config, jobs=jobs, policy=_load_policy(args))
+        records = env.run_until_complete()
+        summary = env.summary()
+        env.save_trace(args.trace)
+        print(f"wrote scenario trace to {args.trace}")
+        if env.scenario_engine is not None and env.scenario_engine.applied_events:
+            counts = env.scenario_engine.event_counts()
+            print("world events  : " + ", ".join(f"{k}={v}" for k, v in sorted(counts.items())))
+    else:
+        summary, records = run_policy_simulation(
+            config, policy=_load_policy(args), jobs=jobs, runner=_make_runner(args)
+        )
 
     print(f"policy        : {summary.strategy}")
     print(f"jobs completed: {summary.num_jobs}")
@@ -169,7 +208,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         if "rlbase" not in strategies:
             strategies.append("rlbase")
 
-    config = SimulationConfig(num_jobs=args.num_jobs, seed=args.seed)
+    config = SimulationConfig(num_jobs=args.num_jobs, seed=args.seed, scenario=args.scenario)
     runner = _make_runner(args)
     result = run_case_study(
         config, strategies=tuple(strategies), rl_model=rl_model, runner=runner
@@ -282,6 +321,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_devices.add_argument("--qv", type=float, default=127, help="quantum volume per device")
     p_devices.set_defaults(func=_cmd_devices)
 
+    p_scen = sub.add_parser("scenarios", help="list the world-dynamics scenario presets")
+    p_scen.set_defaults(func=_cmd_scenarios)
+
     p_workload = sub.add_parser("workload", help="generate a synthetic workload file")
     p_workload.add_argument("-n", "--num-jobs", type=int, default=100)
     p_workload.add_argument("-o", "--output", default="workload.csv", help=".csv or .json path")
@@ -300,6 +342,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--jobs", help="CSV/JSON workload file (overrides --num-jobs)")
     p_sim.add_argument("--model", help="trained policy .npz (required for rlbase)")
     p_sim.add_argument("--records", help="write per-job records to this CSV file")
+    p_sim.add_argument("--scenario",
+                       help="world-dynamics scenario: a preset name (see 'repro scenarios') "
+                            "or a recorded .jsonl trace to replay")
+    p_sim.add_argument("--trace", help="record the run's scenario trace to this JSONL file")
     _add_engine_options(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
 
@@ -308,6 +354,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--seed", type=int, default=2025)
     p_cmp.add_argument("--strategies", nargs="+", default=["speed", "fidelity", "fair"])
     p_cmp.add_argument("--model", help="trained policy .npz; adds the rlbase row")
+    p_cmp.add_argument("--scenario",
+                       help="world-dynamics scenario preset or .jsonl trace (all strategies "
+                            "face the same non-stationary world)")
     p_cmp.add_argument("--histograms", action="store_true", help="print Fig.-6-style histograms")
     _add_engine_options(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)

@@ -16,6 +16,12 @@ that concurrent jobs never race for the same free qubits (which would make
 plans infeasible or deadlock the reservation step).  If no feasible plan
 exists at admission time the broker waits for the cloud's capacity-released
 signal and re-plans.
+
+Non-stationary scenarios (:mod:`repro.dynamics`) extend the workflow: the
+broker only plans over *online* devices, and when a device outage kills a
+job's in-flight sub-jobs (they come back ``aborted``) the broker releases
+every reservation, signals the freed capacity and requeues the job from the
+planning step, up to ``max_requeues`` attempts.
 """
 
 from __future__ import annotations
@@ -50,6 +56,8 @@ class Broker:
     max_plan_attempts:
         Safety valve: a job fails after this many unsuccessful re-planning
         rounds (prevents infinite waits for jobs that can never fit).
+    max_requeues:
+        Safety valve: a job fails after this many outage-triggered requeues.
     """
 
     def __init__(
@@ -59,6 +67,7 @@ class Broker:
         policy: Any,
         records: JobRecordsManager,
         max_plan_attempts: int = 100_000,
+        max_requeues: int = 100,
     ) -> None:
         if not hasattr(policy, "plan"):
             raise TypeError("policy must expose a plan(job, devices) method")
@@ -67,6 +76,7 @@ class Broker:
         self.policy = policy
         self.records = records
         self.max_plan_attempts = int(max_plan_attempts)
+        self.max_requeues = int(max_requeues)
         #: Processes of all submitted jobs (used to wait for completion).
         self.job_processes: List[Process] = []
         #: Jobs that could never be allocated.
@@ -82,20 +92,46 @@ class Broker:
 
     # -- Algorithm 1 -----------------------------------------------------------------
     def _handle_job(self, job: QJob) -> Generator[object, object, Optional[JobRecord]]:
-        """DES process implementing the unified allocation workflow for one job."""
+        """DES process implementing the unified allocation workflow for one job.
+
+        The plan/reserve/execute cycle repeats when a device outage aborts
+        the job's sub-jobs mid-flight: reservations are released and the job
+        re-enters planning (counted in the completed record's ``retries``).
+        """
         if not self.cloud.can_ever_fit(job.num_qubits):
             job.status = QJobStatus.FAILED
             self.failed_jobs.append(job)
             self.records.log_failure(job.job_id, self.env.now, "exceeds total cloud capacity")
             return None
 
-        # -- plan & reserve (FIFO critical section) --------------------------------
-        plan = None
+        retries = 0
+        while True:
+            plan = yield from self._plan_and_reserve(job)
+            if plan is None:
+                return None  # permanently failed (logged inside)
+            record = yield from self._execute_plan(job, plan, retries)
+            if record is not None:
+                return record
+            # An outage killed at least one sub-job: requeue and re-plan.
+            retries += 1
+            if retries > self.max_requeues:
+                job.status = QJobStatus.FAILED
+                self.failed_jobs.append(job)
+                self.records.log_failure(
+                    job.job_id, self.env.now, "exceeded requeue limit after device outages"
+                )
+                return None
+            job.status = QJobStatus.QUEUED
+            self.records.log_requeue(job.job_id, self.env.now, detail=f"attempt {retries}")
+
+    def _plan_and_reserve(self, job: QJob) -> Generator[object, object, Optional[Any]]:
+        """Plan the job over the online fleet and reserve the planned qubits
+        (FIFO admission critical section); ``None`` means the job failed."""
         with self.cloud.admission.request() as admission:
             yield admission
             attempts = 0
             while True:
-                plan = self.policy.plan(job, self.cloud.devices)
+                plan = self.policy.plan(job, self.cloud.online_devices)
                 if plan is not None:
                     if plan.total_qubits != job.num_qubits:
                         raise RuntimeError(
@@ -114,7 +150,8 @@ class Broker:
                     self.failed_jobs.append(job)
                     self.records.log_failure(job.job_id, self.env.now, "no feasible allocation")
                     return None
-                # Wait until some other job releases qubits, then re-plan.
+                # Wait until some other job releases qubits (or a device
+                # comes back online), then re-plan.
                 yield self.cloud.capacity_released
 
             # Reserve the planned qubits.  The plan is feasible right now and
@@ -124,8 +161,13 @@ class Broker:
                 alloc.device.request_qubits(alloc.num_qubits) for alloc in plan.allocations
             ]
             yield self.env.all_of(reservations)
+        return plan
 
-        # -- execute sub-jobs in parallel -------------------------------------------
+    def _execute_plan(
+        self, job: QJob, plan: Any, retries: int
+    ) -> Generator[object, object, Optional[JobRecord]]:
+        """Execute a reserved plan; ``None`` means an outage aborted it (the
+        reservations have been released and the job should be requeued)."""
         start_time = self.env.now
         job.status = QJobStatus.RUNNING
         self.records.log_start(
@@ -144,6 +186,12 @@ class Broker:
         ]
         results_map = yield self.env.all_of(sub_processes)
         results: List[SubJobResult] = [results_map[p] for p in sub_processes]
+
+        if any(result.aborted for result in results):
+            for alloc in plan.allocations:
+                alloc.device.release_qubits(alloc.num_qubits)
+            self.cloud.signal_capacity_change()
+            return None
 
         # -- inter-device classical communication ------------------------------------
         comm_delay = self.cloud.communication.communication_delay(plan.qubit_counts)
@@ -178,6 +226,7 @@ class Broker:
             allocation=plan.qubit_counts,
             processing_time=max(r.processing_time for r in results),
             breakdowns=[r.fidelity_breakdown for r in results],
+            retries=retries,
         )
         self.records.add_record(record)
         self.cloud.notify_capacity_released()

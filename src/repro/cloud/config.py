@@ -58,6 +58,11 @@ class SimulationConfig:
     #: Workload / calibration seed.
     seed: int = 2025
 
+    #: Named scenario injecting non-stationary world dynamics (calibration
+    #: drift, outages, traffic shaping — see :mod:`repro.dynamics`), or a
+    #: ``.jsonl`` trace path to replay.  ``None`` keeps the static world.
+    scenario: Optional[str] = None
+
     def __post_init__(self) -> None:
         if self.num_jobs <= 0:
             raise ValueError("num_jobs must be positive")
@@ -73,6 +78,8 @@ class SimulationConfig:
             raise ValueError("comm_fidelity_penalty must be in [0, 1]")
         if self.comm_latency_per_qubit < 0:
             raise ValueError("comm_latency_per_qubit must be non-negative")
+        if self.scenario is not None and not self.scenario:
+            raise ValueError("scenario must be None or a non-empty name")
 
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict view (for logging next to results)."""
@@ -88,4 +95,10 @@ class SimulationConfig:
         """Copy of the configuration with a different job count (for quick runs)."""
         payload = asdict(self)
         payload["num_jobs"] = num_jobs
+        return SimulationConfig(**payload)
+
+    def with_scenario(self, scenario: Optional[str]) -> "SimulationConfig":
+        """Copy of the configuration with a different scenario."""
+        payload = asdict(self)
+        payload["scenario"] = scenario
         return SimulationConfig(**payload)

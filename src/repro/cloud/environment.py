@@ -8,11 +8,16 @@ simulation is three lines::
     env = QCloudSimEnv(config)           # or pass devices/jobs/policy explicitly
     env.run_until_complete()
     summary = env.summary()
+
+Non-stationary runs add one knob: a scenario (named preset, a
+:class:`~repro.dynamics.Scenario` instance, or a recorded ``.jsonl`` trace)
+injects calibration drift, outages and traffic shaping through the
+:class:`~repro.dynamics.ScenarioEngine`; see :mod:`repro.dynamics`.
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence
+from typing import Any, Generator, List, Optional, Sequence
 
 from repro.cloud.broker import Broker
 from repro.cloud.communication import ClassicalCommunicationModel
@@ -49,6 +54,11 @@ class QCloudSimEnv(Environment):
     policy:
         Policy instance (overrides ``config.policy``).  Required when the
         configured policy is ``"rlbase"`` (a trained model must be supplied).
+    scenario:
+        World-dynamics scenario: a registered preset name, a ``.jsonl`` trace
+        path, or a :class:`~repro.dynamics.Scenario` instance (overrides
+        ``config.scenario``).  ``None`` with no configured scenario keeps the
+        static world — and is byte-identical to the ``"static"`` preset.
     """
 
     def __init__(
@@ -57,9 +67,20 @@ class QCloudSimEnv(Environment):
         devices: Optional[Sequence[object]] = None,
         jobs: Optional[Sequence[QJob]] = None,
         policy: Optional[Any] = None,
+        scenario: Optional[Any] = None,
     ) -> None:
         super().__init__()
         self.config = config if config is not None else SimulationConfig()
+
+        # -- scenario ----------------------------------------------------------
+        if scenario is None and self.config.scenario is not None:
+            scenario = self.config.scenario
+        if isinstance(scenario, str):
+            from repro.dynamics import resolve_scenario
+
+            scenario = resolve_scenario(scenario)
+        #: The resolved scenario (or ``None`` for a plain static run).
+        self.scenario = scenario
 
         # -- devices -----------------------------------------------------------
         if devices is None:
@@ -90,28 +111,66 @@ class QCloudSimEnv(Environment):
         self.broker = Broker(self, self.cloud, self.policy, self.records)
 
         if jobs is None:
-            jobs = generate_synthetic_jobs(
-                num_jobs=self.config.num_jobs,
-                seed=self.config.seed,
-                qubit_range=self.config.qubit_range,
-                depth_range=self.config.depth_range,
-                shots_range=self.config.shots_range,
-                two_qubit_density=self.config.two_qubit_density,
-                arrival=self.config.arrival,
-                arrival_rate=self.config.arrival_rate,
-            )
+            if self.scenario is not None:
+                from repro.dynamics import scenario_jobs
+
+                jobs = scenario_jobs(self.scenario, self.config)
+            if jobs is None:
+                jobs = generate_synthetic_jobs(
+                    num_jobs=self.config.num_jobs,
+                    seed=self.config.seed,
+                    qubit_range=self.config.qubit_range,
+                    depth_range=self.config.depth_range,
+                    shots_range=self.config.shots_range,
+                    two_qubit_density=self.config.two_qubit_density,
+                    arrival=self.config.arrival,
+                    arrival_rate=self.config.arrival_rate,
+                )
         self.job_generator = JobGenerator(self, self.broker, jobs, records=self.records)
+
+        #: The world-dynamics runtime (``None`` for plain static runs).
+        self.scenario_engine = None
+        if self.scenario is not None:
+            from repro.dynamics import ScenarioEngine
+
+            self.scenario_engine = ScenarioEngine(self, self.scenario)
+            self.scenario_engine.install()
+
         self.job_generator.start()
 
     # -- running -----------------------------------------------------------------
+    def _jobs_complete_watcher(self) -> Generator[object, object, None]:
+        """DES process that finishes once every submitted job has finished."""
+        yield self.job_generator.process
+        yield self.job_generator.all_jobs_done()
+
     def run_until_complete(self) -> List[JobRecord]:
         """Run the simulation until every job has been processed.
 
         Returns the completed job records (failed jobs are excluded; they are
         listed in ``broker.failed_jobs``).
+
+        Scenarios with perpetual event sources (drift, stochastic outages)
+        keep the event queue populated forever, so those runs stop on an
+        all-jobs-finished event instead of queue exhaustion; plain runs keep
+        the historical drain-the-queue behaviour (byte-identical results).
         """
-        self.run()
+        if self.scenario_engine is not None and self.scenario_engine.perpetual:
+            self.run(until=self.process(self._jobs_complete_watcher()))
+        else:
+            self.run()
         return self.records.completed_records
+
+    # -- tracing -------------------------------------------------------------------
+    def save_trace(self, path: str) -> str:
+        """Dump the run's workload and applied world events to a JSONL trace.
+
+        The trace replays deterministically via
+        :func:`repro.dynamics.load_trace`; see :mod:`repro.dynamics.trace`.
+        """
+        from repro.dynamics import save_trace
+
+        return save_trace(self, path)
 
     # -- results -------------------------------------------------------------------
     @property
@@ -132,6 +191,8 @@ class QCloudSimEnv(Environment):
                 "busy_time": device.busy_time,
                 "qubit_seconds": device.qubit_seconds,
                 "free_qubits": device.free_qubits,
+                "aborted_subjobs": device.aborted_subjobs,
+                "outages": device.outage_count,
             }
             for device in self.cloud.devices
         }

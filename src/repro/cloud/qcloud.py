@@ -65,6 +65,12 @@ class QCloud:
 
     # -- fleet queries -----------------------------------------------------------
     @property
+    def online_devices(self) -> List[BaseQDevice]:
+        """Devices currently accepting work (scenario outages/maintenance may
+        take devices offline mid-run); the broker plans over this view."""
+        return [d for d in self.devices if d.online]
+
+    @property
     def total_qubits(self) -> int:
         """Combined qubit capacity of the fleet."""
         return sum(d.num_qubits for d in self.devices)
@@ -116,11 +122,20 @@ class QCloud:
         """
         return self._capacity_released
 
-    def notify_capacity_released(self) -> None:
-        """Fire the capacity-released signal (called by the broker on job completion)."""
+    def signal_capacity_change(self) -> None:
+        """Fire the capacity-released signal without counting a completion.
+
+        Used when capacity appears for reasons other than a job finishing —
+        a device coming back online after an outage, or a requeued job
+        releasing its reservations — so waiting brokers re-plan.
+        """
         event, self._capacity_released = self._capacity_released, self.env.event()
         if not event.triggered:
             event.succeed()
+
+    def notify_capacity_released(self) -> None:
+        """Fire the capacity-released signal (called by the broker on job completion)."""
+        self.signal_capacity_change()
         self.jobs_completed += 1
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

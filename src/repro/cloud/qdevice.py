@@ -22,8 +22,10 @@ import networkx as nx
 
 from repro.circuits.circuit import CircuitSpec
 from repro.des.environment import Environment
+from repro.des.exceptions import Interrupt
 from repro.des.resources.container import Container
 from repro.hardware.backends import DeviceProfile
+from repro.hardware.calibration import CalibrationData
 from repro.hardware.coupling import largest_connected_subgraph
 from repro.metrics.error_score import error_score_from_averages
 from repro.metrics.fidelity import FidelityBreakdown, readout_fidelity, single_qubit_fidelity, two_qubit_fidelity
@@ -34,12 +36,18 @@ __all__ = ["SubJobResult", "BaseQDevice", "QuantumDevice", "IBMQuantumDevice"]
 
 @dataclass(frozen=True)
 class SubJobResult:
-    """Outcome of executing one job fragment on one device."""
+    """Outcome of executing one job fragment on one device.
+
+    ``aborted`` results carry no fidelity breakdown: the device went offline
+    mid-execution (or was already offline at start) and the broker requeues
+    the owning job.
+    """
 
     device_name: str
     qubits_allocated: int
     processing_time: float
-    fidelity_breakdown: FidelityBreakdown
+    fidelity_breakdown: Optional[FidelityBreakdown]
+    aborted: bool = False
 
 
 class BaseQDevice:
@@ -69,6 +77,17 @@ class BaseQDevice:
         self.busy_time = 0.0
         #: Accumulated qubit-seconds of work executed (for utilisation stats).
         self.qubit_seconds = 0.0
+        #: Number of times the device has gone offline.
+        self.outage_count = 0
+        #: Number of sub-jobs aborted by outages.
+        self.aborted_subjobs = 0
+        #: In-flight execution processes (interrupted on a killing outage).
+        self._running: set = set()
+        #: Active offline causes; the device is online iff this is empty.
+        #: Tracked per cause so overlapping outage and maintenance windows
+        #: don't cancel each other (the device recovers only when *every*
+        #: cause has cleared).
+        self._offline_causes: set = set()
 
     # -- capacity --------------------------------------------------------------
     @property
@@ -102,8 +121,53 @@ class BaseQDevice:
             raise ValueError("amount must be positive")
         return self.container.put(amount)
 
+    # -- availability ------------------------------------------------------------
+    @property
+    def online(self) -> bool:
+        """Whether the device accepts new work (no active offline cause)."""
+        return not self._offline_causes
+
+    def set_offline(self, kill_running: bool = True, cause: str = "outage") -> bool:
+        """Take the device offline for *cause*; returns whether it was online.
+
+        Causes are tracked independently: an outage during a maintenance
+        window adds a second cause, and the device only comes back online
+        once :meth:`set_online` has cleared every one of them.
+
+        With ``kill_running`` every in-flight execution process is
+        interrupted (its sub-job aborts and the broker requeues the owning
+        job); otherwise running sub-jobs drain gracefully while no new work
+        is planned onto the device.
+        """
+        was_online = not self._offline_causes
+        if cause in self._offline_causes:
+            return False
+        self._offline_causes.add(cause)
+        if was_online:
+            self.outage_count += 1
+        if kill_running:
+            for process in list(self._running):
+                if process is not None and process.is_alive:
+                    process.interrupt(cause)
+        return was_online
+
+    def set_online(self, cause: Optional[str] = None) -> bool:
+        """Clear an offline *cause* (or all of them when ``None``).
+
+        Returns ``True`` only when this call actually brought the device
+        back online — i.e. it cleared the last active cause.
+        """
+        if not self._offline_causes:
+            return False
+        if cause is None:
+            self._offline_causes.clear()
+        else:
+            self._offline_causes.discard(cause)
+        return not self._offline_causes
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"<{type(self).__name__} {self.name} free={self.free_qubits}/{self.num_qubits}>"
+        state = "" if self.online else " OFFLINE"
+        return f"<{type(self).__name__} {self.name} free={self.free_qubits}/{self.num_qubits}{state}>"
 
 
 class QuantumDevice(BaseQDevice):
@@ -137,15 +201,66 @@ class IBMQuantumDevice(QuantumDevice):
         self.profile = profile
         self.clops = float(profile.clops)
         self.quantum_volume = float(profile.quantum_volume)
-        self.calibration = profile.calibration
-        self.avg_readout_error = profile.avg_readout_error
-        self.avg_single_qubit_error = profile.avg_single_qubit_error
-        self.avg_two_qubit_error = profile.avg_two_qubit_error
+        self._calibration = profile.calibration
+        #: Snapshot the average aggregates were computed from (identity check).
+        self._aggregates_for: Optional[object] = None
+        self._refresh_aggregates()
 
     @classmethod
     def from_profile(cls, env: Environment, profile: DeviceProfile) -> "IBMQuantumDevice":
         """Alias constructor mirroring the framework documentation."""
         return cls(env, profile)
+
+    # -- live calibration ----------------------------------------------------------
+    @property
+    def calibration(self) -> "CalibrationData":
+        """The device's *current* calibration snapshot.
+
+        Unlike the static :class:`~repro.hardware.backends.DeviceProfile`,
+        this may change mid-run (calibration drift); assigning a new snapshot
+        invalidates the cached error aggregates so the error score and the
+        fidelity model always see fresh values.
+        """
+        return self._calibration
+
+    @calibration.setter
+    def calibration(self, snapshot: "CalibrationData") -> None:
+        if snapshot.num_qubits != self.num_qubits:
+            raise ValueError(
+                f"calibration covers {snapshot.num_qubits} qubits but "
+                f"{self.name} has {self.num_qubits}"
+            )
+        self._calibration = snapshot
+
+    def _refresh_aggregates(self) -> None:
+        calibration = self._calibration
+        (
+            self._avg_readout_error,
+            self._avg_single_qubit_error,
+            self._avg_two_qubit_error,
+        ) = calibration.average_error_rates()
+        self._aggregates_for = calibration
+
+    @property
+    def avg_readout_error(self) -> float:
+        """Average readout error of the current calibration."""
+        if self._aggregates_for is not self._calibration:
+            self._refresh_aggregates()
+        return self._avg_readout_error
+
+    @property
+    def avg_single_qubit_error(self) -> float:
+        """Average single-qubit gate error of the current calibration."""
+        if self._aggregates_for is not self._calibration:
+            self._refresh_aggregates()
+        return self._avg_single_qubit_error
+
+    @property
+    def avg_two_qubit_error(self) -> float:
+        """Average two-qubit gate error of the current calibration."""
+        if self._aggregates_for is not self._calibration:
+            self._refresh_aggregates()
+        return self._avg_two_qubit_error
 
     def error_score(self, alpha: float = 0.5, theta: float = 0.3, gamma: float = 0.2) -> float:
         """Calibration-derived error score ``E_i`` (Eq. 2)."""
@@ -205,10 +320,42 @@ class IBMQuantumDevice(QuantumDevice):
         The caller must already hold the fragment's qubits (reserved through
         :meth:`request_qubits`).  Yields a timeout for the processing time and
         returns a :class:`SubJobResult` with the fidelity breakdown.
+
+        If the device is offline when execution starts, or goes offline with
+        ``kill_running`` mid-execution, the result comes back ``aborted`` (no
+        fidelity breakdown) and the broker requeues the owning job.
         """
+        if not self.online:
+            self.aborted_subjobs += 1
+            return SubJobResult(
+                device_name=self.name,
+                qubits_allocated=fragment.num_qubits,
+                processing_time=0.0,
+                fidelity_breakdown=None,
+                aborted=True,
+            )
         duration = self.calculate_process_time(fragment)
         start = self.env.now
-        yield self.env.timeout(duration)
+        process = self.env.active_process
+        if process is not None:
+            self._running.add(process)
+        try:
+            yield self.env.timeout(duration)
+        except Interrupt:
+            elapsed = self.env.now - start
+            self.busy_time += elapsed
+            self.qubit_seconds += fragment.num_qubits * elapsed
+            self.aborted_subjobs += 1
+            return SubJobResult(
+                device_name=self.name,
+                qubits_allocated=fragment.num_qubits,
+                processing_time=elapsed,
+                fidelity_breakdown=None,
+                aborted=True,
+            )
+        finally:
+            if process is not None:
+                self._running.discard(process)
         self.completed_subjobs += 1
         self.busy_time += self.env.now - start
         self.qubit_seconds += fragment.num_qubits * (self.env.now - start)

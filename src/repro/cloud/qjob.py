@@ -81,6 +81,20 @@ class QJob:
         """Number of two-qubit gates ``t2``."""
         return self.circuit.num_two_qubit_gates
 
+    def clone(self) -> "QJob":
+        """A fresh copy with reset scheduling state (status back to PENDING).
+
+        Used wherever one workload feeds several simulations (experiment
+        cells, trace replays): the immutable circuit is shared, the mutable
+        life-cycle fields start over.
+        """
+        return QJob(
+            job_id=self.job_id,
+            circuit=self.circuit,
+            arrival_time=self.arrival_time,
+            priority=self.priority,
+        )
+
     def as_dict(self) -> Dict[str, object]:
         """CSV/JSON-friendly representation."""
         payload = self.circuit.as_dict()

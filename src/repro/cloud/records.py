@@ -59,6 +59,8 @@ class JobRecord:
     allocation: List[int] = field(default_factory=list)
     processing_time: float = 0.0
     breakdowns: List[FidelityBreakdown] = field(default_factory=list)
+    #: Times the job was requeued after a device outage killed its sub-jobs.
+    retries: int = 0
 
     @property
     def wait_time(self) -> float:
@@ -88,6 +90,7 @@ class JobRecord:
             "num_devices": self.num_devices,
             "devices": "|".join(self.devices),
             "allocation": "|".join(str(a) for a in self.allocation),
+            "retries": self.retries,
         }
 
 
@@ -95,7 +98,7 @@ class JobRecordsManager:
     """Tracks job events and completed-job records during a simulation."""
 
     #: Event names logged by the framework.
-    EVENTS = ("arrival", "start", "finish", "fidelity", "failed")
+    EVENTS = ("arrival", "start", "finish", "fidelity", "failed", "requeue")
 
     def __init__(self) -> None:
         self._events: List[JobEvent] = []
@@ -127,6 +130,10 @@ class JobRecordsManager:
     def log_failure(self, job_id: int, time: float, reason: str) -> None:
         """Record a job failing."""
         self.log_event(job_id, "failed", time, detail=reason)
+
+    def log_requeue(self, job_id: int, time: float, detail: Optional[str] = None) -> None:
+        """Record a job being requeued after an outage killed its sub-jobs."""
+        self.log_event(job_id, "requeue", time, detail)
 
     def add_record(self, record: JobRecord) -> None:
         """Store the aggregated record of a completed job."""

@@ -1,0 +1,318 @@
+"""The scenario engine: injects world events into a running simulation.
+
+:class:`ScenarioEngine` turns the declarative specs of a
+:class:`~repro.dynamics.scenario.Scenario` into DES processes — one per
+*event source* — that wake up over simulated time and apply
+:class:`~repro.dynamics.scenario.WorldEvent`\\ s to the fleet:
+
+* ``drift`` — one fleet-wide process stepping every device's calibration,
+* ``outage:<device>`` — one process per failable device,
+* ``maintenance`` — one process walking the scheduled windows.
+
+Every applied event funnels through :meth:`ScenarioEngine.apply`, which both
+mutates the world *and* appends the event to :attr:`applied_events` — so any
+scenario run can be dumped to a trace and replayed.  Replay creates one
+process per *recorded* source that re-applies the recorded events at their
+recorded times; because each source allocates exactly one wake-up timeout per
+event time in both modes, the interleaving of same-time events (and hence the
+entire simulation) is reproduced exactly.
+
+Determinism: every source draws from its own generator seeded by
+``derive_seed(config.seed, "scenario", name, scenario.seed, <source>)`` — the
+same scenario on the same config always produces the same event stream,
+independent of fleet size changes in *other* sources.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Generator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.dynamics.scenario import (
+    CALIBRATION_CATEGORIES,
+    DriftSpec,
+    MaintenanceWindow,
+    OutageSpec,
+    Scenario,
+    WorldEvent,
+)
+from repro.engine.spec import derive_seed
+
+__all__ = ["ScenarioEngine"]
+
+
+class ScenarioEngine:
+    """Runtime of one scenario inside one simulation.
+
+    Parameters
+    ----------
+    env:
+        The :class:`~repro.cloud.environment.QCloudSimEnv` (duck-typed: any
+        DES environment exposing ``cloud``, ``config``, ``timeout`` and
+        ``process``).
+    scenario:
+        The scenario to run.
+    """
+
+    def __init__(self, env: Any, scenario: Scenario) -> None:
+        self.env = env
+        self.scenario = scenario
+        #: Every world event applied so far, in application order.
+        self.applied_events: List[WorldEvent] = []
+        #: Event-source identifiers in creation order (trace header field).
+        self.sources: List[str] = []
+        self._installed = False
+        self._baselines: Dict[str, Any] = {}
+        self._log_factors: Dict[str, Dict[str, float]] = {}
+        self._seed_root = derive_seed(
+            env.config.seed, "scenario", scenario.name, scenario.seed
+        )
+
+    # -- installation ---------------------------------------------------------
+    @property
+    def cloud(self) -> Any:
+        """The device fleet of the owning environment."""
+        return self.env.cloud
+
+    @property
+    def perpetual(self) -> bool:
+        """Whether any installed source never terminates (the environment
+        must then stop on job completion, not queue exhaustion)."""
+        return self.scenario.is_perpetual
+
+    def install(self) -> None:
+        """Snapshot calibration baselines and start the event-source processes.
+
+        A static scenario installs nothing: no processes are created, no
+        events are scheduled, and the simulation is byte-identical to a run
+        without a scenario.
+        """
+        if self._installed:
+            raise RuntimeError("ScenarioEngine already installed")
+        self._installed = True
+        scenario = self.scenario
+
+        for device in self.cloud.devices:
+            self._baselines[device.name] = getattr(device, "calibration", None)
+            self._log_factors[device.name] = {c: 0.0 for c in CALIBRATION_CATEGORIES}
+
+        if scenario.is_replay:
+            self._install_replay(scenario)
+            return
+
+        if scenario.drift is not None:
+            self._validate_devices(scenario.drift.devices)
+            self.sources.append("drift")
+            self.env.process(self._drift_source(scenario.drift))
+        if scenario.outages is not None:
+            self._validate_devices(scenario.outages.devices)
+            names = scenario.outages.devices or tuple(d.name for d in self.cloud.devices)
+            for name in names:
+                self.sources.append(f"outage:{name}")
+                self.env.process(self._outage_source(name, scenario.outages))
+        if scenario.maintenance:
+            self._validate_devices(
+                tuple(w.device for w in scenario.maintenance if w.device is not None)
+            )
+            self.sources.append("maintenance")
+            self.env.process(self._maintenance_source(scenario.maintenance))
+
+    def _validate_devices(self, names: Optional[Sequence[str]]) -> None:
+        for name in names or ():
+            self.cloud.device(name)  # raises KeyError for unknown devices
+
+    def _install_replay(self, scenario: Scenario) -> None:
+        events = scenario.replay_events or ()
+        by_source: Dict[str, List[WorldEvent]] = {}
+        for event in events:
+            by_source.setdefault(event.source, []).append(event)
+        # Re-create sources in the recorded creation order so that same-time
+        # wake-up events interleave exactly as in the recorded run.
+        order = list(scenario.replay_sources) or list(by_source)
+        for source in order:
+            source_events = by_source.pop(source, [])
+            if source_events:
+                self.sources.append(source)
+                self.env.process(self._replay_source(source_events))
+        for source, source_events in by_source.items():  # sources missing from header
+            self.sources.append(source)
+            self.env.process(self._replay_source(source_events))
+
+    # -- event sources ---------------------------------------------------------
+    def _source_rng(self, *components: Any) -> np.random.Generator:
+        return np.random.default_rng(derive_seed(self._seed_root, *components))
+
+    def _drift_source(self, spec: DriftSpec) -> Generator[object, object, None]:
+        rng = self._source_rng("drift")
+        names = list(spec.devices) if spec.devices else [d.name for d in self.cloud.devices]
+        # One vectorized draw per wake (5 categories x devices) instead of 5k
+        # scalar draws: the drift hook runs on the hot path of every step.
+        sigma = np.tile(
+            [spec.volatility] * 3 + [spec.coherence_volatility] * 2, len(names)
+        )
+        elapsed = 0.0
+        next_recal = spec.recalibration_period
+        while True:
+            yield self.env.timeout(spec.interval)
+            elapsed += spec.interval
+            now = self.env.now
+            steps = np.exp(sigma * rng.standard_normal(sigma.shape[0]))
+            for i, name in enumerate(names):
+                base = 5 * i
+                factors = {
+                    "readout": float(steps[base]),
+                    "single_qubit": float(steps[base + 1]),
+                    "two_qubit": float(steps[base + 2]),
+                    "t1": float(steps[base + 3]),
+                    "t2": float(steps[base + 4]),
+                }
+                self.apply(WorldEvent(now, "drift", "calibration", name, {"factors": factors}))
+            if next_recal is not None and elapsed >= next_recal:
+                next_recal += spec.recalibration_period
+                for name in names:
+                    self.apply(
+                        WorldEvent(
+                            now,
+                            "drift",
+                            "recalibration",
+                            name,
+                            {"strength": spec.recalibration_strength},
+                        )
+                    )
+
+    def _outage_source(self, name: str, spec: OutageSpec) -> Generator[object, object, None]:
+        rng = self._source_rng("outage", name)
+        source = f"outage:{name}"
+        while True:
+            yield self.env.timeout(float(rng.exponential(spec.mtbf)))
+            self.apply(
+                WorldEvent(
+                    self.env.now,
+                    source,
+                    "offline",
+                    name,
+                    {"kill_running": spec.kill_running, "cause": "outage"},
+                )
+            )
+            yield self.env.timeout(float(rng.exponential(spec.mttr)))
+            self.apply(WorldEvent(self.env.now, source, "online", name, {"cause": "outage"}))
+
+    def _maintenance_source(
+        self, windows: Sequence[MaintenanceWindow]
+    ) -> Generator[object, object, None]:
+        # Windows are served in start order; an overlapping window is simply
+        # deferred until the previous one ends (its full duration is honoured).
+        for window in sorted(windows, key=lambda w: (w.start, w.device or "")):
+            if window.start > self.env.now:
+                yield self.env.timeout(window.start - self.env.now)
+            self.apply(
+                WorldEvent(
+                    self.env.now,
+                    "maintenance",
+                    "offline",
+                    window.device,
+                    {"kill_running": window.kill_running, "cause": "maintenance"},
+                )
+            )
+            yield self.env.timeout(window.duration)
+            self.apply(
+                WorldEvent(
+                    self.env.now, "maintenance", "online", window.device,
+                    {"cause": "maintenance"},
+                )
+            )
+
+    def _replay_source(self, events: Sequence[WorldEvent]) -> Generator[object, object, None]:
+        for event in events:
+            if event.time > self.env.now:
+                yield self.env.timeout(event.time - self.env.now)
+            self.apply(event)
+
+    # -- event application -----------------------------------------------------
+    def apply(self, event: WorldEvent) -> None:
+        """Apply one world event to the fleet and record it.
+
+        This is the single funnel shared by the stochastic sources and the
+        replay sources, so recording and replaying cannot diverge.
+        """
+        kind = event.kind
+        if kind == "calibration":
+            self._shift_calibration(event.device, event.payload["factors"])
+        elif kind == "recalibration":
+            self._recalibrate(event.device, float(event.payload.get("strength", 1.0)))
+        elif kind == "offline":
+            for device in self._targets(event.device):
+                device.set_offline(
+                    kill_running=bool(event.payload.get("kill_running", True)),
+                    cause=str(event.payload.get("cause", "outage")),
+                )
+        elif kind == "online":
+            cause = event.payload.get("cause")
+            recovered = False
+            for device in self._targets(event.device):
+                recovered = device.set_online(cause) or recovered
+            if recovered:
+                # Wake brokers waiting for capacity so they re-plan onto the
+                # recovered device.
+                self.cloud.signal_capacity_change()
+        else:
+            raise ValueError(f"unknown world-event kind {kind!r}")
+        self.applied_events.append(event)
+
+    def _targets(self, device_name: Optional[str]) -> List[Any]:
+        if device_name is None:
+            return list(self.cloud.devices)
+        return [self.cloud.device(device_name)]
+
+    def _shift_calibration(self, device_name: Optional[str], factors: Dict[str, Any]) -> None:
+        if device_name is None:
+            raise ValueError("calibration events need a target device")
+        state = self._log_factors[device_name]
+        for category, factor in factors.items():
+            if category not in state:
+                raise ValueError(f"unknown calibration category {category!r}")
+            state[category] += math.log(float(factor))
+        self._rescale(device_name)
+
+    def _recalibrate(self, device_name: Optional[str], strength: float) -> None:
+        names = (
+            [device_name] if device_name is not None else [d.name for d in self.cloud.devices]
+        )
+        for name in names:
+            state = self._log_factors[name]
+            for category in state:
+                state[category] *= 1.0 - strength
+            self._rescale(name)
+
+    def _rescale(self, device_name: str) -> None:
+        """Re-derive the device calibration from its baseline and the
+        accumulated log-deviations (always from the baseline, so replayed
+        event streams reproduce bit-identical calibrations)."""
+        baseline = self._baselines[device_name]
+        if baseline is None:
+            raise TypeError(f"device {device_name!r} carries no calibration data")
+        state = self._log_factors[device_name]
+        device = self.cloud.device(device_name)
+        device.calibration = baseline.scaled(
+            readout=math.exp(state["readout"]),
+            single_qubit=math.exp(state["single_qubit"]),
+            two_qubit=math.exp(state["two_qubit"]),
+            t1=math.exp(state["t1"]),
+            t2=math.exp(state["t2"]),
+        )
+
+    # -- reporting -------------------------------------------------------------
+    def event_counts(self) -> Dict[str, int]:
+        """Number of applied events per kind (for summaries/CLI)."""
+        counts: Dict[str, int] = {}
+        for event in self.applied_events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ScenarioEngine scenario={self.scenario.name!r} "
+            f"sources={len(self.sources)} applied={len(self.applied_events)}>"
+        )

@@ -1,0 +1,133 @@
+"""Named scenario presets and the scenario registry.
+
+The registry maps scenario names to :class:`~repro.dynamics.scenario.Scenario`
+instances so that configurations, experiment grids and the CLI can select
+world dynamics by name (``SimulationConfig(scenario="rush-hour")``,
+``repro compare --scenario flaky-fleet``).  Five presets ship built-in:
+
+==============  ==============================================================
+``static``      no dynamics at all — byte-identical to a scenario-less run
+``drift``       calibration drift on every device + hourly recalibration
+``flaky-fleet`` stochastic outages fleet-wide + one maintenance window + drift
+``rush-hour``   diurnal sinusoidal arrival rate (trough→crest Poisson)
+``black-friday`` MMPP burst arrivals + heavy-tail job sizes + overload outages
+==============  ==============================================================
+
+A name ending in ``.jsonl`` (or prefixed ``trace:``) resolves to a replay
+scenario loaded from that trace file (see :mod:`repro.dynamics.trace`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.dynamics.scenario import (
+    DriftSpec,
+    MaintenanceWindow,
+    OutageSpec,
+    Scenario,
+    TrafficSpec,
+)
+
+__all__ = [
+    "register_scenario",
+    "get_scenario",
+    "available_scenarios",
+    "resolve_scenario",
+]
+
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> None:
+    """Register *scenario* under its name (overwrites existing entries)."""
+    _REGISTRY[scenario.name] = scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a registered scenario by name."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown scenario {name!r}; available: {available_scenarios()}")
+    return _REGISTRY[name]
+
+
+def available_scenarios() -> List[str]:
+    """Names of all registered scenarios (presets first, in preset order)."""
+    return list(_REGISTRY)
+
+
+def resolve_scenario(name: str) -> Scenario:
+    """Resolve a scenario reference: a registered name, or a trace path.
+
+    ``"trace:<path>"`` and any name ending in ``".jsonl"`` load a replay
+    scenario from that trace file.
+    """
+    if name.startswith("trace:") or name.endswith(".jsonl"):
+        from repro.dynamics.trace import load_trace
+
+        return load_trace(name[len("trace:"):] if name.startswith("trace:") else name)
+    return get_scenario(name)
+
+
+def _register_presets() -> None:
+    # The time constants below are sized against the paper's case-study
+    # workload, where a 100-job batch drains in roughly 5-6 k simulated
+    # seconds (~60 s of fleet time per job).
+    register_scenario(
+        Scenario(
+            name="static",
+            description="frozen calibrations, perfect availability (the paper's world)",
+        )
+    )
+    register_scenario(
+        Scenario(
+            name="drift",
+            description="lognormal calibration drift fleet-wide, periodic recalibration",
+            drift=DriftSpec(
+                interval=1800.0,
+                volatility=0.12,
+                coherence_volatility=0.05,
+                recalibration_period=10_800.0,
+                recalibration_strength=0.9,
+            ),
+        )
+    )
+    register_scenario(
+        Scenario(
+            name="flaky-fleet",
+            description="stochastic outages + a maintenance window + mild drift",
+            drift=DriftSpec(interval=900.0, volatility=0.04, recalibration_period=7200.0),
+            outages=OutageSpec(mtbf=4000.0, mttr=400.0, kill_running=True),
+            maintenance=(
+                MaintenanceWindow(start=1500.0, duration=600.0, device="ibm_brussels"),
+            ),
+        )
+    )
+    register_scenario(
+        Scenario(
+            name="rush-hour",
+            description="diurnal sinusoidal arrival rate (quiet troughs, busy crests)",
+            traffic=TrafficSpec(
+                model="diurnal", rate=0.01, peak_rate=0.12, period=7200.0
+            ),
+        )
+    )
+    register_scenario(
+        Scenario(
+            name="black-friday",
+            description="MMPP burst arrivals, heavy-tail job sizes, overload outages",
+            traffic=TrafficSpec(
+                model="mmpp",
+                rate=0.015,
+                burst_rate=0.2,
+                dwell_normal=1200.0,
+                dwell_burst=300.0,
+                qubit_dist="heavy_tail",
+                tail_alpha=2.2,
+            ),
+            outages=OutageSpec(mtbf=6000.0, mttr=300.0, kill_running=True),
+        )
+    )
+
+
+_register_presets()

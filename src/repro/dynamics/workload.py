@@ -1,0 +1,48 @@
+"""Scenario-shaped workload construction.
+
+:func:`scenario_jobs` is the single place where a scenario influences *which
+jobs arrive when*: replay scenarios return their recorded workload, traffic
+scenarios generate one from their :class:`~repro.dynamics.scenario.TrafficSpec`
+(seeded deterministically from the config seed and the scenario identity),
+and all other scenarios defer to the configuration's default workload.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cloud.qjob import QJob
+from repro.dynamics.scenario import Scenario
+from repro.engine.spec import derive_seed
+
+__all__ = ["scenario_jobs"]
+
+
+def scenario_jobs(scenario: Scenario, config) -> Optional[List[QJob]]:
+    """The workload a scenario imposes, or ``None`` to use the config default.
+
+    Parameters
+    ----------
+    scenario:
+        The active scenario.
+    config:
+        The run's :class:`~repro.cloud.config.SimulationConfig` (supplies the
+        job count, the size/depth/shot ranges and the base seed).
+    """
+    if scenario.replay_jobs is not None:
+        return [job.clone() for job in scenario.replay_jobs]
+    if scenario.traffic is None:
+        return None
+
+    from repro.workloads.arrivals import generate_traffic_jobs
+
+    seed = derive_seed(config.seed, "scenario-traffic", scenario.name, scenario.seed)
+    return generate_traffic_jobs(
+        scenario.traffic,
+        num_jobs=config.num_jobs,
+        seed=seed,
+        qubit_range=config.qubit_range,
+        depth_range=config.depth_range,
+        shots_range=config.shots_range,
+        two_qubit_density=config.two_qubit_density,
+    )

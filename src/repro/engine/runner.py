@@ -37,15 +37,7 @@ _BACKENDS = ("serial", "process")
 
 def _clone_jobs(jobs: Sequence[QJob]) -> List[QJob]:
     """Copy a job list so each simulation gets fresh status fields."""
-    return [
-        QJob(
-            job_id=j.job_id,
-            circuit=j.circuit,
-            arrival_time=j.arrival_time,
-            priority=j.priority,
-        )
-        for j in jobs
-    ]
+    return [job.clone() for job in jobs]
 
 
 @dataclass(frozen=True)
@@ -106,22 +98,12 @@ def execute_cell(cell: ExperimentCell) -> CellResult:
     the cloud layer lazily to keep worker start-up light.
     """
     from repro.cloud.environment import QCloudSimEnv
-    from repro.cloud.job_generator import generate_synthetic_jobs
 
     config = cell.config
-    if cell.jobs is not None:
-        jobs = _clone_jobs(cell.jobs)
-    else:
-        jobs = generate_synthetic_jobs(
-            num_jobs=config.num_jobs,
-            seed=config.seed,
-            qubit_range=config.qubit_range,
-            depth_range=config.depth_range,
-            shots_range=config.shots_range,
-            two_qubit_density=config.two_qubit_density,
-            arrival=config.arrival,
-            arrival_rate=config.arrival_rate,
-        )
+    # An explicit workload is cloned per simulation; otherwise the
+    # environment regenerates it from the config (bit-identical, and lets
+    # scenario traffic models shape the arrivals — see repro.dynamics).
+    jobs = _clone_jobs(cell.jobs) if cell.jobs is not None else None
 
     policy = cell.policy
     if policy is None and cell.policy_spec is not None:

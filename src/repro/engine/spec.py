@@ -26,6 +26,9 @@ from repro.cloud.qjob import QJob
 
 __all__ = ["derive_seed", "PolicySpec", "ExperimentCell", "ExperimentSpec"]
 
+#: Sentinel: no scenario axis requested — cells keep the base config's scenario.
+_KEEP_SCENARIO = object()
+
 
 def derive_seed(base_seed: Optional[int], *components: Any) -> int:
     """Derive a deterministic 63-bit seed from a base seed and components.
@@ -70,6 +73,36 @@ def _jobs_fingerprint(jobs: Sequence[QJob]) -> str:
     return hashlib.sha256(repr(parts).encode("utf-8")).hexdigest()
 
 
+def _scenario_fingerprint(name: str) -> Optional[str]:
+    """Content hash of what a scenario reference *currently* resolves to.
+
+    The config only carries the scenario's name (or trace path), but the
+    content behind it can change — a trace file re-recorded in place, a
+    custom scenario re-registered with different specs.  Folding the
+    resolved content into the cache key keeps the result store honest;
+    ``None`` marks the cell uncacheable (unresolvable references fail at
+    execution time instead of poisoning the cache).
+    """
+    if name.startswith("trace:") or name.endswith(".jsonl"):
+        from pathlib import Path
+
+        path = name[len("trace:"):] if name.startswith("trace:") else name
+        try:
+            blob = Path(path).read_bytes()
+        except OSError:
+            return None
+        return hashlib.sha256(blob).hexdigest()
+    try:
+        from repro.dynamics import get_scenario
+    except ImportError:  # pragma: no cover - dynamics always ships
+        return None
+    try:
+        # Frozen-dataclass reprs are deterministic content descriptions.
+        return hashlib.sha256(repr(get_scenario(name)).encode("utf-8")).hexdigest()
+    except KeyError:
+        return None
+
+
 @dataclass(frozen=True)
 class ExperimentCell:
     """One grid cell: a single simulation to run and summarise.
@@ -97,13 +130,20 @@ class ExperimentCell:
 
     def cache_key(self) -> Optional[str]:
         """Content hash identifying this cell's result, or ``None`` if the
-        cell is uncacheable (it carries a prebuilt policy instance)."""
+        cell is uncacheable (it carries a prebuilt policy instance, or a
+        scenario reference whose content cannot be resolved right now)."""
         if self.policy is not None:
             return None
+        scenario_content = None
+        if self.config.scenario is not None:
+            scenario_content = _scenario_fingerprint(self.config.scenario)
+            if scenario_content is None:
+                return None
         payload: Dict[str, Any] = {
             "strategy": self.strategy,
             "seed": self.seed,
             "config": self.config.as_dict(),
+            "scenario_content": scenario_content,
             "policy_spec": self.policy_spec.fingerprint() if self.policy_spec else None,
             "jobs": _jobs_fingerprint(self.jobs) if self.jobs is not None else None,
         }
@@ -140,6 +180,11 @@ class ExperimentSpec:
         RL model; such cells are uncacheable).
     jobs:
         Explicit workload shared by every cell (cloned per simulation).
+    scenarios:
+        Grid axis of world-dynamics scenario names (see
+        :mod:`repro.dynamics`); each entry becomes one grid column (crossed
+        with ``overrides``).  ``None`` in the tuple means "no scenario";
+        omitting the axis keeps the base config's own scenario.
     """
 
     base_config: SimulationConfig
@@ -153,6 +198,7 @@ class ExperimentSpec:
     policy_specs: Mapping[str, PolicySpec] = field(default_factory=dict)
     policies: Mapping[str, Any] = field(default_factory=dict)
     jobs: Optional[Tuple[QJob, ...]] = None
+    scenarios: Optional[Tuple[Optional[str], ...]] = None
 
     def __post_init__(self) -> None:
         if not self.strategies:
@@ -163,6 +209,8 @@ class ExperimentSpec:
             raise ValueError("seeds must be non-empty when given")
         if not self.overrides:
             raise ValueError("overrides must be non-empty (use ({},) for none)")
+        if self.scenarios is not None and not self.scenarios:
+            raise ValueError("scenarios must be non-empty when given")
 
     def replicate_seeds(self) -> List[int]:
         """The workload seed of every replicate (deterministic)."""
@@ -176,31 +224,43 @@ class ExperimentSpec:
         ]
 
     def cells(self) -> List[ExperimentCell]:
-        """Expand the grid into flat cells (override-major, then replicate,
-        then strategy — Table 2 order inside each replicate)."""
+        """Expand the grid into flat cells (scenario-major, then override,
+        then replicate, then strategy — Table 2 order inside each replicate)."""
         cells: List[ExperimentCell] = []
         index = 0
-        for override in self.overrides:
-            for replicate, seed in enumerate(self.replicate_seeds()):
-                for strategy in self.strategies:
-                    payload = dict(self.base_config.as_dict())
-                    payload.update(override)
-                    payload["policy"] = strategy
-                    payload["seed"] = seed
-                    cells.append(
-                        ExperimentCell(
-                            index=index,
-                            strategy=strategy,
-                            seed=seed,
-                            config=SimulationConfig(**payload),
-                            policy_spec=self.policy_specs.get(strategy),
-                            policy=self.policies.get(strategy),
-                            jobs=self.jobs,
-                            replicate=replicate,
+        scenario_axis: Tuple[Any, ...] = (
+            self.scenarios if self.scenarios is not None else (_KEEP_SCENARIO,)
+        )
+        for scenario in scenario_axis:
+            for override in self.overrides:
+                for replicate, seed in enumerate(self.replicate_seeds()):
+                    for strategy in self.strategies:
+                        payload = dict(self.base_config.as_dict())
+                        payload.update(override)
+                        payload["policy"] = strategy
+                        payload["seed"] = seed
+                        if scenario is not _KEEP_SCENARIO:
+                            payload["scenario"] = scenario
+                        cells.append(
+                            ExperimentCell(
+                                index=index,
+                                strategy=strategy,
+                                seed=seed,
+                                config=SimulationConfig(**payload),
+                                policy_spec=self.policy_specs.get(strategy),
+                                policy=self.policies.get(strategy),
+                                jobs=self.jobs,
+                                replicate=replicate,
+                            )
                         )
-                    )
-                    index += 1
+                        index += 1
         return cells
 
     def __len__(self) -> int:
-        return len(self.strategies) * len(self.replicate_seeds()) * len(self.overrides)
+        scenario_count = len(self.scenarios) if self.scenarios is not None else 1
+        return (
+            len(self.strategies)
+            * len(self.replicate_seeds())
+            * len(self.overrides)
+            * scenario_count
+        )

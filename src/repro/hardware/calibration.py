@@ -29,6 +29,13 @@ __all__ = [
     "synthetic_calibration",
 ]
 
+#: Valid ``(low, high)`` clip bounds per error category, shared by the
+#: scaled-snapshot record materialisation, the scaled-array views and the
+#: aggregate fast paths — one source of truth so the three stay consistent.
+READOUT_ERROR_BOUNDS = (1e-6, 0.5)
+SINGLE_QUBIT_ERROR_BOUNDS = (1e-7, 0.1)
+TWO_QUBIT_ERROR_BOUNDS = (1e-6, 0.5)
+
 
 @dataclass(frozen=True)
 class QubitCalibration:
@@ -132,6 +139,16 @@ class CalibrationData:
             return 0.0
         return float(self.two_qubit_errors.mean())
 
+    def average_error_rates(self) -> Tuple[float, float, float]:
+        """The three error-score aggregates in one call: ``(readout, single
+        qubit, two qubit)`` means.  Devices use this to refresh their cached
+        aggregates after a calibration swap."""
+        return (
+            self.average_readout_error(),
+            self.average_single_qubit_error(),
+            self.average_two_qubit_error(),
+        )
+
     def average_t1_us(self) -> float:
         """Mean T1 over all qubits (microseconds)."""
         return float(np.mean([q.t1_us for q in self.qubits]))
@@ -160,6 +177,81 @@ class CalibrationData:
             ],
         }
 
+    def scaled(
+        self,
+        *,
+        readout: float = 1.0,
+        single_qubit: float = 1.0,
+        two_qubit: float = 1.0,
+        t1: float = 1.0,
+        t2: float = 1.0,
+        timestamp: Optional[str] = None,
+    ) -> "CalibrationData":
+        """A new snapshot with every record scaled by per-category factors.
+
+        This is the primitive behind calibration drift
+        (:mod:`repro.dynamics`): error rates are multiplied by their factor
+        and clipped back into valid probability ranges, coherence times are
+        scaled and re-clamped to the physical ``T2 <= 2*T1`` bound.  The
+        receiver is never mutated, so baseline snapshots (and the shared
+        device catalogue) stay pristine.
+
+        Runs on the drift hot path (once per device per drift step), so the
+        result is *lazy*: the aggregate statistics the simulator consumes
+        (average error rates, coherence means) are computed vectorized from
+        cached baseline statistics, while the per-record ``qubits``/``gates``
+        lists materialise only if something actually reads them.  The
+        scaled snapshot's ``average_*`` methods are the defining aggregates:
+        they can differ from a hand-computed mean over the materialised
+        records by a few ulps (``mean(x) * f`` vs ``mean(x * f)`` round
+        differently), but every consumer — device aggregates, error scores,
+        the fidelity model, replayed traces — reads the same methods, so
+        results stay internally consistent and bit-reproducible.
+        """
+        return _ScaledCalibrationData(
+            self,
+            factors={
+                "readout": float(readout),
+                "single_qubit": float(single_qubit),
+                "two_qubit": float(two_qubit),
+                "t1": float(t1),
+                "t2": float(t2),
+            },
+            timestamp=timestamp,
+        )
+
+    def _baseline_arrays(self) -> Dict[str, np.ndarray]:
+        """Per-category numpy views of the records, cached on first use."""
+        cached = self.__dict__.get("_arrays_cache")
+        if cached is None:
+            cached = {
+                "readout": self.readout_errors,
+                "single_qubit": self.single_qubit_errors,
+                "two_qubit": self.two_qubit_errors,
+                "t1": np.array([q.t1_us for q in self.qubits], dtype=np.float64),
+                "t2": np.array([q.t2_us for q in self.qubits], dtype=np.float64),
+            }
+            self.__dict__["_arrays_cache"] = cached
+        return cached
+
+    def _baseline_stats(self) -> Dict[str, Tuple[float, float, float, np.ndarray]]:
+        """Per-category ``(mean, min, max, values)`` of the records, cached.
+
+        Backs the scaled-snapshot aggregate fast path: when a drift factor
+        keeps every value inside its clip bounds (the overwhelmingly common
+        case), the scaled mean is just ``factor * mean``."""
+        cached = self.__dict__.get("_stats_cache")
+        if cached is None:
+            arrays = self._baseline_arrays()
+            cached = {
+                name: (float(arr.mean()), float(arr.min()), float(arr.max()), arr)
+                if arr.size
+                else (0.0, 0.0, 0.0, arr)
+                for name, arr in arrays.items()
+            }
+            self.__dict__["_stats_cache"] = cached
+        return cached
+
     @classmethod
     def from_dict(cls, payload: Mapping[str, object]) -> "CalibrationData":
         """Rebuild a snapshot from :meth:`as_dict` output."""
@@ -182,6 +274,140 @@ class CalibrationData:
             for g in payload["gates"]  # type: ignore[index]
         ]
         return cls(qubits=qubits, gates=gates, timestamp=str(payload.get("timestamp", "")))
+
+
+class _ScaledCalibrationData(CalibrationData):
+    """A lazily-materialised scaled view of a baseline snapshot.
+
+    Produced by :meth:`CalibrationData.scaled`.  Aggregate queries (the only
+    thing the simulator's hot path touches) are answered from the baseline's
+    cached statistics; the per-record ``qubits``/``gates`` lists are built on
+    first access only (e.g. when a trace or report serialises the snapshot).
+    The per-record values use the same multiply/clamp operations, but the
+    fast-path aggregate ``mean(x) * f`` may differ from a recomputed
+    ``mean(x * f)`` by a few ulps — ``average_*`` here is the single source
+    of truth all simulator consumers read.
+    """
+
+    def __init__(self, base: CalibrationData, factors: Dict[str, float],
+                 timestamp: Optional[str]) -> None:
+        # Deliberately no super().__init__: the dataclass fields ``qubits``
+        # and ``gates`` stay unset until _materialize fills them in.
+        self._base = base
+        self._factors = factors
+        self.timestamp = timestamp if timestamp is not None else base.timestamp
+
+    # -- lazy record materialisation ------------------------------------------
+    def __getattr__(self, name: str):
+        if name in ("qubits", "gates"):
+            self._materialize()
+            return self.__dict__[name]
+        raise AttributeError(name)
+
+    def _materialize(self) -> None:
+        base, f = self._base, self._factors
+        readout, single, two, t1, t2 = (
+            f["readout"], f["single_qubit"], f["two_qubit"], f["t1"], f["t2"]
+        )
+        (ro_lo, ro_hi) = READOUT_ERROR_BOUNDS
+        (sq_lo, sq_hi) = SINGLE_QUBIT_ERROR_BOUNDS
+        (tq_lo, tq_hi) = TWO_QUBIT_ERROR_BOUNDS
+        qubits = []
+        for q in base.qubits:
+            new_t1 = max(q.t1_us * t1, 1.0)
+            qubits.append(
+                QubitCalibration(
+                    index=q.index,
+                    t1_us=new_t1,
+                    t2_us=min(max(q.t2_us * t2, 1.0), 2.0 * new_t1),
+                    readout_error=min(max(q.readout_error * readout, ro_lo), ro_hi),
+                    single_qubit_error=min(max(q.single_qubit_error * single, sq_lo), sq_hi),
+                )
+            )
+        self.qubits = qubits
+        self.gates = [
+            GateCalibration(
+                qubits=g.qubits,
+                error=min(max(g.error * two, tq_lo), tq_hi),
+                duration_ns=g.duration_ns,
+            )
+            for g in base.gates
+        ]
+
+    # -- vectorized aggregate fast paths ----------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        return self._base.num_qubits
+
+    @property
+    def readout_errors(self) -> np.ndarray:
+        arr = self._base._baseline_arrays()["readout"] * self._factors["readout"]
+        return np.clip(arr, *READOUT_ERROR_BOUNDS)
+
+    @property
+    def single_qubit_errors(self) -> np.ndarray:
+        arr = self._base._baseline_arrays()["single_qubit"] * self._factors["single_qubit"]
+        return np.clip(arr, *SINGLE_QUBIT_ERROR_BOUNDS)
+
+    @property
+    def two_qubit_errors(self) -> np.ndarray:
+        arr = self._base._baseline_arrays()["two_qubit"] * self._factors["two_qubit"]
+        return np.clip(arr, *TWO_QUBIT_ERROR_BOUNDS)
+
+    def _coherence_arrays(self):
+        base = self._base._baseline_arrays()
+        t1 = np.maximum(base["t1"] * self._factors["t1"], 1.0)
+        t2 = np.minimum(np.maximum(base["t2"] * self._factors["t2"], 1.0), 2.0 * t1)
+        return t1, t2
+
+    def _scaled_mean(self, category: str, lo: float, hi: float) -> float:
+        """Mean of the clipped scaled values.
+
+        Fast path: when the factor keeps the whole baseline range inside the
+        clip bounds (the common case — drift steps are small), the mean is
+        ``factor * baseline_mean`` — one multiplication instead of three
+        numpy array operations.  This is the *defining* aggregate for scaled
+        snapshots; ``average_*`` delegates here so the device hot path and
+        all consumers see one consistent value.
+        """
+        mean, lowest, highest, values = self._base._baseline_stats()[category]
+        factor = self._factors[category]
+        if values.size == 0:
+            return 0.0
+        if lowest * factor >= lo and highest * factor <= hi:
+            return mean * factor
+        return float(np.clip(values * factor, lo, hi).mean())
+
+    def average_readout_error(self) -> float:
+        return self._scaled_mean("readout", *READOUT_ERROR_BOUNDS)
+
+    def average_single_qubit_error(self) -> float:
+        return self._scaled_mean("single_qubit", *SINGLE_QUBIT_ERROR_BOUNDS)
+
+    def average_two_qubit_error(self) -> float:
+        return self._scaled_mean("two_qubit", *TWO_QUBIT_ERROR_BOUNDS)
+
+    def average_t1_us(self) -> float:
+        return float(self._coherence_arrays()[0].mean())
+
+    def average_t2_us(self) -> float:
+        return float(self._coherence_arrays()[1].mean())
+
+    def average_error_rates(self) -> "Tuple[float, float, float]":
+        return (
+            self.average_readout_error(),
+            self.average_single_qubit_error(),
+            self.average_two_qubit_error(),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, CalibrationData):
+            return (self.qubits, self.gates, self.timestamp) == (
+                other.qubits, other.gates, other.timestamp
+            )
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]  # mutable, like the base dataclass
 
 
 def synthetic_calibration(

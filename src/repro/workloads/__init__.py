@@ -1,4 +1,6 @@
-"""Named workloads used by the examples and benchmarks.
+"""Named workloads and arrival models used by the examples and benchmarks.
+
+Synthetic workloads (:mod:`repro.workloads.synthetic`):
 
 * :func:`~repro.workloads.synthetic.case_study_jobs` — the paper's 1,000-job
   case-study workload (§7),
@@ -8,8 +10,26 @@
   portfolio-optimisation-style circuits,
 * :func:`~repro.workloads.synthetic.mixed_tenant_jobs` — a mixed multi-tenant
   trace combining the above with Poisson arrivals.
+
+Non-stationary arrival models (:mod:`repro.workloads.arrivals`, used by the
+scenario subsystem's traffic shaping — see :mod:`repro.dynamics`):
+
+* :func:`~repro.workloads.arrivals.mmpp_arrival_times` — two-state
+  Markov-modulated Poisson bursts,
+* :func:`~repro.workloads.arrivals.diurnal_arrival_times` — sinusoidal-rate
+  nonhomogeneous Poisson arrivals (sampled by thinning),
+* :func:`~repro.workloads.arrivals.heavy_tail_qubit_sizes` — Pareto-tailed
+  job sizes,
+* :func:`~repro.workloads.arrivals.generate_traffic_jobs` — a full workload
+  from a :class:`~repro.dynamics.TrafficSpec`.
 """
 
+from repro.workloads.arrivals import (
+    diurnal_arrival_times,
+    generate_traffic_jobs,
+    heavy_tail_qubit_sizes,
+    mmpp_arrival_times,
+)
 from repro.workloads.synthetic import (
     case_study_jobs,
     ghz_sweep_jobs,
@@ -19,7 +39,11 @@ from repro.workloads.synthetic import (
 
 __all__ = [
     "case_study_jobs",
+    "diurnal_arrival_times",
+    "generate_traffic_jobs",
     "ghz_sweep_jobs",
+    "heavy_tail_qubit_sizes",
     "mixed_tenant_jobs",
+    "mmpp_arrival_times",
     "qaoa_portfolio_jobs",
 ]

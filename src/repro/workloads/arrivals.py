@@ -1,0 +1,217 @@
+"""Non-stationary arrival processes and heavy-tailed job sizes.
+
+The seed simulator supports two arrival models (one batch at t=0, or a
+homogeneous Poisson process).  Real cloud traffic is neither: load is bursty
+on short horizons and diurnal on long ones, and job sizes are heavy-tailed.
+This module adds the missing generators:
+
+* :func:`mmpp_arrival_times` — a two-state Markov-modulated Poisson process
+  alternating between a normal and a burst phase,
+* :func:`diurnal_arrival_times` — a nonhomogeneous Poisson process with a
+  sinusoidal rate, sampled exactly by thinning,
+* :func:`heavy_tail_qubit_sizes` — Pareto-tailed qubit demands,
+* :func:`generate_traffic_jobs` — assembles a full :class:`QJob` workload
+  from a :class:`~repro.dynamics.scenario.TrafficSpec`.
+
+All generators are deterministic given their RNG / seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.generators import random_circuit_spec
+from repro.cloud.qjob import QJob
+
+__all__ = [
+    "mmpp_arrival_times",
+    "diurnal_arrival_times",
+    "heavy_tail_qubit_sizes",
+    "generate_traffic_jobs",
+]
+
+
+def mmpp_arrival_times(
+    rng: np.random.Generator,
+    num_jobs: int,
+    rate: float,
+    burst_rate: float,
+    dwell_normal: float,
+    dwell_burst: float,
+    start_time: float = 0.0,
+) -> np.ndarray:
+    """Arrival times of a two-state Markov-modulated Poisson process.
+
+    The process alternates between a *normal* phase (Poisson at *rate*, mean
+    dwell *dwell_normal*) and a *burst* phase (Poisson at *burst_rate*, mean
+    dwell *dwell_burst*); phase dwell times are exponential.  Each step draws
+    a candidate inter-arrival at the current phase rate and a time-to-switch;
+    whichever comes first wins (the competing-exponentials construction,
+    which is exact for MMPPs).
+    """
+    if num_jobs <= 0:
+        raise ValueError("num_jobs must be positive")
+    for name, value in (("rate", rate), ("burst_rate", burst_rate),
+                        ("dwell_normal", dwell_normal), ("dwell_burst", dwell_burst)):
+        if value <= 0:
+            raise ValueError(f"{name} must be positive")
+
+    times = np.empty(num_jobs, dtype=np.float64)
+    now = float(start_time)
+    bursting = False
+    time_to_switch = float(rng.exponential(dwell_normal))
+    produced = 0
+    while produced < num_jobs:
+        current_rate = burst_rate if bursting else rate
+        candidate = float(rng.exponential(1.0 / current_rate))
+        if candidate < time_to_switch:
+            now += candidate
+            time_to_switch -= candidate
+            times[produced] = now
+            produced += 1
+        else:
+            now += time_to_switch
+            bursting = not bursting
+            time_to_switch = float(rng.exponential(dwell_burst if bursting else dwell_normal))
+    return times
+
+
+def diurnal_arrival_times(
+    rng: np.random.Generator,
+    num_jobs: int,
+    base_rate: float,
+    peak_rate: float,
+    period: float,
+    phase: float = 0.0,
+    start_time: float = 0.0,
+) -> np.ndarray:
+    """Arrival times of a sinusoidally-modulated Poisson process.
+
+    The instantaneous rate swings between *base_rate* (trough, at t=0 for
+    phase 0) and *peak_rate* (crest, half a period later)::
+
+        rate(t) = base + (peak - base) * (1 - cos(2*pi*t/period + phase)) / 2
+
+    Sampled exactly by thinning against the crest rate.
+    """
+    if num_jobs <= 0:
+        raise ValueError("num_jobs must be positive")
+    if base_rate <= 0 or peak_rate <= 0 or period <= 0:
+        raise ValueError("rates and period must be positive")
+    if peak_rate < base_rate:
+        raise ValueError("peak_rate must be >= base_rate")
+
+    max_rate = peak_rate
+    swing = peak_rate - base_rate
+    omega = 2.0 * np.pi / period
+    times = np.empty(num_jobs, dtype=np.float64)
+    now = float(start_time)
+    produced = 0
+    while produced < num_jobs:
+        now += float(rng.exponential(1.0 / max_rate))
+        current = base_rate + swing * (1.0 - np.cos(omega * now + phase)) / 2.0
+        if rng.random() * max_rate <= current:
+            times[produced] = now
+            produced += 1
+    return times
+
+
+def heavy_tail_qubit_sizes(
+    rng: np.random.Generator,
+    num_jobs: int,
+    min_qubits: int,
+    max_qubits: int,
+    alpha: float = 2.2,
+) -> np.ndarray:
+    """Pareto-tailed qubit demands: ``q = min_qubits * (1 + Pareto(alpha))``.
+
+    Demands are clipped to ``[min_qubits, max_qubits]``; with the default
+    tail index most jobs sit near the minimum while a fat tail of giant jobs
+    stresses the partitioner and the admission queue.
+    """
+    if num_jobs <= 0:
+        raise ValueError("num_jobs must be positive")
+    if min_qubits <= 0 or max_qubits < min_qubits:
+        raise ValueError("need 0 < min_qubits <= max_qubits")
+    if alpha <= 1.0:
+        raise ValueError("alpha must be > 1")
+    raw = min_qubits * (1.0 + rng.pareto(alpha, size=num_jobs))
+    return np.clip(np.floor(raw).astype(np.int64), min_qubits, max_qubits)
+
+
+def generate_traffic_jobs(
+    traffic,
+    num_jobs: int,
+    seed: Optional[int],
+    qubit_range: Tuple[int, int] = (130, 250),
+    depth_range: Tuple[int, int] = (5, 20),
+    shots_range: Tuple[int, int] = (10_000, 100_000),
+    two_qubit_density: float = 0.30,
+    start_time: float = 0.0,
+) -> List[QJob]:
+    """Build a workload shaped by a :class:`~repro.dynamics.scenario.TrafficSpec`.
+
+    Arrival times come from the spec's arrival model, job sizes from its
+    qubit distribution; depth/shots/gate mix follow the same uniform ranges
+    as :func:`repro.cloud.job_generator.generate_synthetic_jobs`.  Arrival,
+    size and circuit randomness use independent sub-streams of *seed* so the
+    three axes can be varied without perturbing each other.
+    """
+    from repro.engine.spec import derive_seed
+
+    if num_jobs <= 0:
+        raise ValueError("num_jobs must be positive")
+
+    rng_arrival = np.random.default_rng(derive_seed(seed, "traffic-arrivals"))
+    rng_sizes = np.random.default_rng(derive_seed(seed, "traffic-sizes"))
+    rng_circuits = np.random.default_rng(derive_seed(seed, "traffic-circuits"))
+
+    if traffic.model == "mmpp":
+        arrivals = mmpp_arrival_times(
+            rng_arrival,
+            num_jobs,
+            rate=traffic.rate,
+            burst_rate=traffic.burst_rate,
+            dwell_normal=traffic.dwell_normal,
+            dwell_burst=traffic.dwell_burst,
+            start_time=start_time,
+        )
+    elif traffic.model == "diurnal":
+        arrivals = diurnal_arrival_times(
+            rng_arrival,
+            num_jobs,
+            base_rate=traffic.rate,
+            peak_rate=traffic.peak_rate,
+            period=traffic.period,
+            start_time=start_time,
+        )
+    else:  # "poisson"
+        steps = rng_arrival.exponential(1.0 / traffic.rate, size=num_jobs)
+        steps[0] = 0.0
+        arrivals = start_time + np.cumsum(steps)
+
+    if traffic.qubit_dist == "heavy_tail":
+        upper = traffic.max_qubits if traffic.max_qubits is not None else 2 * qubit_range[1]
+        sizes = heavy_tail_qubit_sizes(
+            rng_sizes, num_jobs, qubit_range[0], upper, alpha=traffic.tail_alpha
+        )
+    else:
+        sizes = None
+
+    jobs: List[QJob] = []
+    for job_id in range(num_jobs):
+        per_job_range = (
+            (int(sizes[job_id]), int(sizes[job_id])) if sizes is not None else qubit_range
+        )
+        circuit = random_circuit_spec(
+            rng_circuits,
+            qubit_range=per_job_range,
+            depth_range=depth_range,
+            shots_range=shots_range,
+            two_qubit_density=two_qubit_density,
+            name=f"traffic_{job_id}",
+        )
+        jobs.append(QJob(job_id=job_id, circuit=circuit, arrival_time=float(arrivals[job_id])))
+    return jobs

@@ -47,6 +47,14 @@ class TestDerivedConfigs:
         assert small.num_jobs == 25
         assert small.device_names == cfg.device_names
 
+    def test_with_scenario_copies(self):
+        cfg = SimulationConfig(num_jobs=10)
+        drifted = cfg.with_scenario("drift")
+        assert drifted.scenario == "drift"
+        assert drifted.num_jobs == 10
+        assert cfg.scenario is None
+        assert drifted.with_scenario(None).scenario is None
+
     def test_as_dict_roundtrip(self):
         cfg = SimulationConfig(num_jobs=5, seed=9)
         rebuilt = SimulationConfig(**cfg.as_dict())

@@ -1,0 +1,119 @@
+"""Scenario spec validation, the preset registry and resolution."""
+
+import pytest
+
+from repro.dynamics import (
+    DriftSpec,
+    MaintenanceWindow,
+    OutageSpec,
+    Scenario,
+    TrafficSpec,
+    WorldEvent,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+    resolve_scenario,
+)
+
+PRESETS = ("static", "drift", "flaky-fleet", "rush-hour", "black-friday")
+
+
+class TestSpecs:
+    def test_drift_spec_validation(self):
+        with pytest.raises(ValueError):
+            DriftSpec(interval=0)
+        with pytest.raises(ValueError):
+            DriftSpec(volatility=-0.1)
+        with pytest.raises(ValueError):
+            DriftSpec(recalibration_strength=0.0)
+        with pytest.raises(ValueError):
+            DriftSpec(recalibration_period=-1.0)
+
+    def test_outage_spec_validation(self):
+        with pytest.raises(ValueError):
+            OutageSpec(mtbf=0)
+        with pytest.raises(ValueError):
+            OutageSpec(mttr=-1)
+
+    def test_maintenance_window_validation(self):
+        with pytest.raises(ValueError):
+            MaintenanceWindow(start=-1, duration=10)
+        with pytest.raises(ValueError):
+            MaintenanceWindow(start=0, duration=0)
+
+    def test_traffic_spec_validation(self):
+        with pytest.raises(ValueError):
+            TrafficSpec(model="fractal")
+        with pytest.raises(ValueError):
+            TrafficSpec(qubit_dist="bimodal")
+        with pytest.raises(ValueError):
+            TrafficSpec(rate=0)
+        with pytest.raises(ValueError):
+            TrafficSpec(tail_alpha=1.0)
+
+    def test_scenario_needs_name(self):
+        with pytest.raises(ValueError):
+            Scenario(name="")
+
+    def test_replay_scenario_excludes_specs(self):
+        with pytest.raises(ValueError):
+            Scenario(name="bad", drift=DriftSpec(), replay_events=())
+
+    def test_scenario_flags(self):
+        static = Scenario(name="s")
+        assert static.is_static and not static.has_world_dynamics
+        assert not static.is_perpetual
+
+        drifting = Scenario(name="d", drift=DriftSpec())
+        assert drifting.has_world_dynamics and drifting.is_perpetual
+
+        maint = Scenario(name="m", maintenance=(MaintenanceWindow(start=1, duration=1),))
+        assert maint.has_world_dynamics and not maint.is_perpetual
+
+        traffic = Scenario(name="t", traffic=TrafficSpec())
+        assert not traffic.has_world_dynamics and not traffic.is_static
+
+    def test_scenarios_are_picklable(self):
+        import pickle
+
+        scenario = get_scenario("flaky-fleet")
+        assert pickle.loads(pickle.dumps(scenario)) == scenario
+
+    def test_world_event_roundtrip(self):
+        event = WorldEvent(1.5, "drift", "calibration", "ibm_kyiv", {"factors": {"readout": 1.1}})
+        assert WorldEvent.from_dict(event.as_dict()) == event
+
+
+class TestRegistry:
+    def test_presets_registered(self):
+        names = available_scenarios()
+        for preset in PRESETS:
+            assert preset in names
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_scenario("does-not-exist")
+
+    def test_register_and_resolve_custom(self):
+        scenario = Scenario(name="test-custom", drift=DriftSpec(interval=10.0))
+        register_scenario(scenario)
+        try:
+            assert resolve_scenario("test-custom") is scenario
+        finally:
+            from repro.dynamics import presets
+
+            presets._REGISTRY.pop("test-custom", None)
+
+    def test_resolve_trace_path_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            resolve_scenario(str(tmp_path / "missing.jsonl"))
+
+    def test_affected_devices(self):
+        scenario = Scenario(
+            name="x",
+            drift=DriftSpec(devices=("a",)),
+            outages=OutageSpec(devices=("b",)),
+        )
+        assert scenario.affected_devices(["a", "b", "c"]) == ["a", "b"]
+        fleet_wide = Scenario(name="y", outages=OutageSpec())
+        assert fleet_wide.affected_devices(["a", "b"]) == ["a", "b"]

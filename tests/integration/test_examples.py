@@ -63,6 +63,13 @@ class TestExamples:
         assert "Deployment in the discrete-event simulator" in result.stdout
         assert Path(model_path).exists()
 
+    def test_scenario_sweep(self):
+        result = run_example("scenario_sweep.py", "8")
+        assert result.returncode == 0, result.stderr
+        for scenario in ("static", "drift", "flaky-fleet", "rush-hour", "black-friday"):
+            assert scenario in result.stdout
+        assert "best fidelity under" in result.stdout
+
     def test_custom_policy(self):
         result = run_example("custom_policy.py", "20")
         assert result.returncode == 0, result.stderr

@@ -1,0 +1,106 @@
+"""The non-stationary arrival models and heavy-tail size distribution."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics import TrafficSpec
+from repro.workloads.arrivals import (
+    diurnal_arrival_times,
+    generate_traffic_jobs,
+    heavy_tail_qubit_sizes,
+    mmpp_arrival_times,
+)
+
+
+class TestMMPP:
+    def test_monotone_and_deterministic(self):
+        times_a = mmpp_arrival_times(np.random.default_rng(0), 200, 0.02, 0.5, 600.0, 60.0)
+        times_b = mmpp_arrival_times(np.random.default_rng(0), 200, 0.02, 0.5, 600.0, 60.0)
+        assert np.array_equal(times_a, times_b)
+        assert np.all(np.diff(times_a) >= 0)
+        assert len(times_a) == 200
+
+    def test_bursts_cluster_arrivals(self):
+        """An MMPP with a hot burst phase has a much more variable
+        inter-arrival process than a Poisson at the same mean rate."""
+        rng = np.random.default_rng(1)
+        times = mmpp_arrival_times(rng, 2000, 0.02, 1.0, 600.0, 200.0)
+        gaps = np.diff(times)
+        cv2 = np.var(gaps) / np.mean(gaps) ** 2
+        assert cv2 > 1.5  # Poisson has CV^2 == 1
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            mmpp_arrival_times(rng, 0, 0.1, 0.5, 10.0, 10.0)
+        with pytest.raises(ValueError):
+            mmpp_arrival_times(rng, 5, -0.1, 0.5, 10.0, 10.0)
+
+
+class TestDiurnal:
+    def test_monotone_and_deterministic(self):
+        times_a = diurnal_arrival_times(np.random.default_rng(2), 300, 0.01, 0.2, 7200.0)
+        times_b = diurnal_arrival_times(np.random.default_rng(2), 300, 0.01, 0.2, 7200.0)
+        assert np.array_equal(times_a, times_b)
+        assert np.all(np.diff(times_a) >= 0)
+
+    def test_crest_denser_than_trough(self):
+        rng = np.random.default_rng(3)
+        period = 10_000.0
+        times = diurnal_arrival_times(rng, 3000, 0.01, 0.5, period)
+        phase = np.mod(times, period) / period
+        crest = np.sum((phase > 0.25) & (phase < 0.75))   # around the rate peak
+        trough = np.sum((phase < 0.25) | (phase > 0.75))
+        assert crest > 2 * trough
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            diurnal_arrival_times(rng, 10, 0.2, 0.1, 100.0)  # peak < base
+
+
+class TestHeavyTail:
+    def test_sizes_within_bounds(self):
+        sizes = heavy_tail_qubit_sizes(np.random.default_rng(4), 5000, 130, 500, alpha=2.2)
+        assert sizes.min() >= 130
+        assert sizes.max() <= 500
+        assert sizes.dtype == np.int64
+
+    def test_heavier_tail_with_smaller_alpha(self):
+        big = heavy_tail_qubit_sizes(np.random.default_rng(5), 5000, 130, 10_000, alpha=1.2)
+        small = heavy_tail_qubit_sizes(np.random.default_rng(5), 5000, 130, 10_000, alpha=3.0)
+        assert big.mean() > small.mean()
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            heavy_tail_qubit_sizes(rng, 10, 0, 100)
+        with pytest.raises(ValueError):
+            heavy_tail_qubit_sizes(rng, 10, 10, 100, alpha=0.9)
+
+
+class TestGenerateTrafficJobs:
+    def test_deterministic_given_seed(self):
+        spec = TrafficSpec(model="mmpp", qubit_dist="heavy_tail")
+        jobs_a = generate_traffic_jobs(spec, 50, seed=9)
+        jobs_b = generate_traffic_jobs(spec, 50, seed=9)
+        assert [j.as_dict() for j in jobs_a] == [j.as_dict() for j in jobs_b]
+        jobs_c = generate_traffic_jobs(spec, 50, seed=10)
+        assert [j.arrival_time for j in jobs_a] != [j.arrival_time for j in jobs_c]
+
+    def test_poisson_model(self):
+        jobs = generate_traffic_jobs(TrafficSpec(model="poisson", rate=0.1), 40, seed=0)
+        times = [j.arrival_time for j in jobs]
+        assert times[0] == 0.0
+        assert times == sorted(times)
+
+    def test_heavy_tail_sizes_respect_cap(self):
+        spec = TrafficSpec(model="poisson", qubit_dist="heavy_tail", max_qubits=400)
+        jobs = generate_traffic_jobs(spec, 200, seed=1, qubit_range=(130, 250))
+        assert max(j.num_qubits for j in jobs) <= 400
+        assert min(j.num_qubits for j in jobs) >= 130
+
+    def test_uniform_sizes_follow_config_range(self):
+        jobs = generate_traffic_jobs(TrafficSpec(model="diurnal"), 50, seed=2,
+                                     qubit_range=(140, 160))
+        assert all(140 <= j.num_qubits <= 160 for j in jobs)
