@@ -11,9 +11,11 @@ The package is organised bottom-up:
   aggregation).
 * **Framework** — :mod:`repro.cloud` (QCloudSimEnv, QCloud, QDevice, Broker,
   JobGenerator, JobRecordsManager), :mod:`repro.scheduling` (the four
-  allocation strategies plus baselines) and :mod:`repro.dynamics`
+  allocation strategies plus baselines), :mod:`repro.dynamics`
   (non-stationary scenarios: calibration drift, outages/maintenance, traffic
-  shaping, deterministic trace record/replay).
+  shaping, deterministic trace record/replay) and :mod:`repro.serve` (the
+  multi-tenant QoS layer: tenants with priority classes and SLOs, admission
+  control, preemptive weighted-fair dispatch, per-tenant SLO accounting).
 * **Experiments** — :mod:`repro.engine` (the parallel experiment engine:
   declarative strategy × seed × config grids, serial/process-pool execution,
   content-keyed result caching), :mod:`repro.rlenv` (the allocation MDP and
@@ -53,5 +55,6 @@ __all__ = [
     "rl",
     "rlenv",
     "scheduling",
+    "serve",
     "workloads",
 ]

@@ -9,6 +9,9 @@ Exposes the framework's main workflows without writing Python::
     python -m repro simulate --policy fidelity --jobs jobs.csv --records out.csv
     python -m repro simulate --scenario flaky-fleet -n 100 --trace run.jsonl
     python -m repro simulate --scenario run.jsonl -n 100   # deterministic replay
+    python -m repro serve --list                 # list multi-tenant mix presets
+    python -m repro serve --tenants free-tier-vs-premium -n 200
+    python -m repro serve --tenants noisy-neighbor --scenario rush-hour -n 200
     python -m repro compare -n 200               # Table-2-style comparison
     python -m repro compare -n 200 --scenario rush-hour
     python -m repro compare -n 200 --backend process --workers 4
@@ -99,6 +102,63 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import format_tenant_table
+    from repro.cloud.config import SimulationConfig
+    from repro.cloud.environment import QCloudSimEnv
+    from repro.cloud.records import records_to_csv
+    from repro.serve import available_tenant_mixes, get_tenant_mix
+
+    if args.list:
+        print(f"{'mix':<22} {'tenants':>7} {'classes':>8}  tenants (class/weight/share)")
+        for name in available_tenant_mixes():
+            mix = get_tenant_mix(name)
+            detail = ", ".join(
+                f"{t.name}({t.priority_class}/{t.weight:g}/{t.share:g})" for t in mix.tenants
+            )
+            print(
+                f"{name:<22} {len(mix.tenants):>7} {len(mix.priority_classes):>8}  {detail}"
+            )
+        return 0
+
+    config = SimulationConfig(
+        policy=args.policy,
+        num_jobs=args.num_jobs,
+        seed=args.seed,
+        scenario=args.scenario,
+        tenants=args.tenants,
+        max_requeues=args.max_requeues,
+    )
+    env = QCloudSimEnv(config=config, policy=_load_policy(args))
+    records = env.run_until_complete()
+    reports = env.tenant_reports()
+
+    print(f"policy        : {getattr(env.policy, 'name', config.policy)}")
+    print(f"tenant mix    : {env.tenant_mix.name}")
+    print(f"jobs completed: {len(records)}")
+    print(f"jobs rejected : {len(env.broker.rejected_jobs)}")
+    print(f"jobs failed   : {len(env.broker.failed_jobs)}")
+    print(f"preemptions   : {env.broker.preempted_total}")
+    if records:
+        summary = env.summary()
+        print(f"T_sim (s)     : {summary.total_simulation_time:,.2f}")
+        print(f"fidelity      : {summary.mean_fidelity:.5f} ± {summary.std_fidelity:.5f}")
+    print()
+    print(format_tenant_table(reports))
+
+    if args.records:
+        if records:
+            records_to_csv(records, args.records)
+            print(f"\nwrote per-job records to {args.records}")
+        else:
+            print(f"\nno completed jobs; skipping records export to {args.records}")
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump([r.as_dict() for r in reports], fh, indent=2)
+        print(f"wrote tenant SLO report to {args.report}")
+    return 0 if len(records) else 1
+
+
 def _cmd_workload(args: argparse.Namespace) -> int:
     from repro.cloud.io import jobs_to_csv, jobs_to_json
     from repro.cloud.job_generator import generate_synthetic_jobs
@@ -146,7 +206,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.cloud.records import records_to_csv
 
     config = SimulationConfig(
-        policy=args.policy, num_jobs=args.num_jobs, seed=args.seed, scenario=args.scenario
+        policy=args.policy,
+        num_jobs=args.num_jobs,
+        seed=args.seed,
+        scenario=args.scenario,
+        tenants=args.tenants,
     )
     jobs = None
     if args.jobs:
@@ -208,7 +272,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         if "rlbase" not in strategies:
             strategies.append("rlbase")
 
-    config = SimulationConfig(num_jobs=args.num_jobs, seed=args.seed, scenario=args.scenario)
+    config = SimulationConfig(
+        num_jobs=args.num_jobs, seed=args.seed, scenario=args.scenario, tenants=args.tenants
+    )
     runner = _make_runner(args)
     result = run_case_study(
         config, strategies=tuple(strategies), rl_model=rl_model, runner=runner
@@ -345,9 +411,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--scenario",
                        help="world-dynamics scenario: a preset name (see 'repro scenarios') "
                             "or a recorded .jsonl trace to replay")
+    p_sim.add_argument("--tenants",
+                       help="multi-tenant mix preset (see 'repro serve --list'); swaps in "
+                            "the serve broker")
     p_sim.add_argument("--trace", help="record the run's scenario trace to this JSONL file")
     _add_engine_options(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run a multi-tenant serving simulation and report per-tenant SLOs",
+    )
+    p_serve.add_argument("--tenants", default="single",
+                         help="tenant-mix preset (default: single)")
+    p_serve.add_argument("--list", action="store_true",
+                         help="list the registered tenant-mix presets and exit")
+    p_serve.add_argument("--policy", default="speed",
+                         help="speed | fidelity | fair | rlbase | any registered policy")
+    p_serve.add_argument("-n", "--num-jobs", type=int, default=100)
+    p_serve.add_argument("--seed", type=int, default=2025)
+    p_serve.add_argument("--scenario",
+                         help="world-dynamics scenario preset or .jsonl trace; its traffic "
+                              "is routed to tenants by share")
+    p_serve.add_argument("--max-requeues", type=int, default=100,
+                         help="starvation guard: fail a job after this many outage/preemption "
+                              "requeues")
+    p_serve.add_argument("--model", help="trained policy .npz (required for rlbase)")
+    p_serve.add_argument("--records", help="write per-job records to this CSV file")
+    p_serve.add_argument("--report", help="write the per-tenant SLO report to this JSON file")
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_cmp = sub.add_parser("compare", help="compare allocation strategies (Table 2)")
     p_cmp.add_argument("-n", "--num-jobs", type=int, default=100)
@@ -357,6 +449,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--scenario",
                        help="world-dynamics scenario preset or .jsonl trace (all strategies "
                             "face the same non-stationary world)")
+    p_cmp.add_argument("--tenants",
+                       help="multi-tenant mix preset (all strategies serve the same mix)")
     p_cmp.add_argument("--histograms", action="store_true", help="print Fig.-6-style histograms")
     _add_engine_options(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)

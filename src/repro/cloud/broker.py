@@ -102,6 +102,7 @@ class Broker:
             job.status = QJobStatus.FAILED
             self.failed_jobs.append(job)
             self.records.log_failure(job.job_id, self.env.now, "exceeds total cloud capacity")
+            self._note_failed(job)
             return None
 
         retries = 0
@@ -112,17 +113,21 @@ class Broker:
             record = yield from self._execute_plan(job, plan, retries)
             if record is not None:
                 return record
-            # An outage killed at least one sub-job: requeue and re-plan.
+            # An outage (or a preemption) killed at least one sub-job:
+            # requeue and re-plan, up to the starvation guard.
             retries += 1
             if retries > self.max_requeues:
                 job.status = QJobStatus.FAILED
                 self.failed_jobs.append(job)
                 self.records.log_failure(
-                    job.job_id, self.env.now, "exceeded requeue limit after device outages"
+                    job.job_id,
+                    self.env.now,
+                    f"exceeded requeue limit ({self.max_requeues}) after outages/preemptions",
                 )
+                self._note_failed(job)
                 return None
             job.status = QJobStatus.QUEUED
-            self.records.log_requeue(job.job_id, self.env.now, detail=f"attempt {retries}")
+            self._note_requeued(job, retries)
 
     def _plan_and_reserve(self, job: QJob) -> Generator[object, object, Optional[Any]]:
         """Plan the job over the online fleet and reserve the planned qubits
@@ -149,6 +154,7 @@ class Broker:
                     job.status = QJobStatus.FAILED
                     self.failed_jobs.append(job)
                     self.records.log_failure(job.job_id, self.env.now, "no feasible allocation")
+                    self._note_failed(job)
                     return None
                 # Wait until some other job releases qubits (or a device
                 # comes back online), then re-plan.
@@ -184,10 +190,12 @@ class Broker:
             )
             for alloc, fragment in zip(plan.allocations, fragments)
         ]
+        self._register_running(job, plan, sub_processes)
         results_map = yield self.env.all_of(sub_processes)
         results: List[SubJobResult] = [results_map[p] for p in sub_processes]
 
         if any(result.aborted for result in results):
+            self._unregister_running(job)
             for alloc in plan.allocations:
                 alloc.device.release_qubits(alloc.num_qubits)
             self.cloud.signal_capacity_change()
@@ -204,6 +212,7 @@ class Broker:
         fidelity = final_fidelity(device_fidelities, phi=self.cloud.communication.fidelity_penalty)
 
         # -- release qubits & log completion --------------------------------------------
+        self._unregister_running(job)
         for alloc in plan.allocations:
             alloc.device.release_qubits(alloc.num_qubits)
         finish_time = self.env.now
@@ -227,10 +236,31 @@ class Broker:
             processing_time=max(r.processing_time for r in results),
             breakdowns=[r.fidelity_breakdown for r in results],
             retries=retries,
+            tenant=job.tenant,
         )
         self.records.add_record(record)
+        self._note_completed(job, record)
         self.cloud.notify_capacity_released()
         return record
+
+    # -- life-cycle hooks (no-ops here; the serve broker keeps its tenant and
+    # preemption bookkeeping in sync through these without perturbing the
+    # default workflow) ----------------------------------------------------------
+    def _register_running(self, job: QJob, plan: Any, sub_processes: List[Process]) -> None:
+        """Called when a job's sub-jobs have been launched."""
+
+    def _unregister_running(self, job: QJob) -> None:
+        """Called when a job's sub-jobs have finished or aborted."""
+
+    def _note_requeued(self, job: QJob, retries: int) -> None:
+        """Called when an aborted job re-enters the planning queue."""
+        self.records.log_requeue(job.job_id, self.env.now, detail=f"attempt {retries}")
+
+    def _note_failed(self, job: QJob) -> None:
+        """Called when a job terminally fails (after the failure is logged)."""
+
+    def _note_completed(self, job: QJob, record: JobRecord) -> None:
+        """Called when a job completes (after its record is stored)."""
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} policy={getattr(self.policy, 'name', '?')!r}>"

@@ -63,6 +63,16 @@ class SimulationConfig:
     #: ``.jsonl`` trace path to replay.  ``None`` keeps the static world.
     scenario: Optional[str] = None
 
+    #: Named multi-tenant mix (see :mod:`repro.serve`): tenants with priority
+    #: classes, SLOs and admission limits sharing the fleet through the
+    #: preemptive fair-share serve broker.  ``None`` keeps the plain
+    #: single-queue broker (byte-identical to pre-serve runs).
+    tenants: Optional[str] = None
+
+    #: Starvation guard: a job terminally fails after this many requeues
+    #: (outage kills + preemptions combined).
+    max_requeues: int = 100
+
     def __post_init__(self) -> None:
         if self.num_jobs <= 0:
             raise ValueError("num_jobs must be positive")
@@ -80,6 +90,10 @@ class SimulationConfig:
             raise ValueError("comm_latency_per_qubit must be non-negative")
         if self.scenario is not None and not self.scenario:
             raise ValueError("scenario must be None or a non-empty name")
+        if self.tenants is not None and not self.tenants:
+            raise ValueError("tenants must be None or a non-empty mix name")
+        if self.max_requeues < 0:
+            raise ValueError("max_requeues must be non-negative")
 
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict view (for logging next to results)."""
@@ -101,4 +115,10 @@ class SimulationConfig:
         """Copy of the configuration with a different scenario."""
         payload = asdict(self)
         payload["scenario"] = scenario
+        return SimulationConfig(**payload)
+
+    def with_tenants(self, tenants: Optional[str]) -> "SimulationConfig":
+        """Copy of the configuration with a different tenant mix."""
+        payload = asdict(self)
+        payload["tenants"] = tenants
         return SimulationConfig(**payload)

@@ -59,6 +59,14 @@ class QCloudSimEnv(Environment):
         path, or a :class:`~repro.dynamics.Scenario` instance (overrides
         ``config.scenario``).  ``None`` with no configured scenario keeps the
         static world — and is byte-identical to the ``"static"`` preset.
+    tenants:
+        Multi-tenant mix: a registered preset name or a
+        :class:`~repro.serve.TenantMix` instance (overrides
+        ``config.tenants``).  Selecting a mix swaps the plain broker for the
+        :class:`~repro.serve.ServeBroker` (admission control, fair-share
+        dispatch, preemption) and shapes the workload from the tenants'
+        traffic specs; the ``single`` preset stays byte-identical to a plain
+        run.
     """
 
     def __init__(
@@ -68,6 +76,7 @@ class QCloudSimEnv(Environment):
         jobs: Optional[Sequence[QJob]] = None,
         policy: Optional[Any] = None,
         scenario: Optional[Any] = None,
+        tenants: Optional[Any] = None,
     ) -> None:
         super().__init__()
         self.config = config if config is not None else SimulationConfig()
@@ -81,6 +90,16 @@ class QCloudSimEnv(Environment):
             scenario = resolve_scenario(scenario)
         #: The resolved scenario (or ``None`` for a plain static run).
         self.scenario = scenario
+
+        # -- tenants ------------------------------------------------------------
+        if tenants is None and self.config.tenants is not None:
+            tenants = self.config.tenants
+        if isinstance(tenants, str):
+            from repro.serve import resolve_tenant_mix
+
+            tenants = resolve_tenant_mix(tenants)
+        #: The resolved tenant mix (or ``None`` for a plain single-queue run).
+        self.tenant_mix = tenants
 
         # -- devices -----------------------------------------------------------
         if devices is None:
@@ -108,13 +127,42 @@ class QCloudSimEnv(Environment):
 
         # -- records, broker, job source ----------------------------------------
         self.records = JobRecordsManager()
-        self.broker = Broker(self, self.cloud, self.policy, self.records)
+        if self.tenant_mix is not None:
+            from repro.serve import ServeBroker
 
+            self.broker: Broker = ServeBroker(
+                self,
+                self.cloud,
+                self.policy,
+                self.records,
+                tenants=self.tenant_mix,
+                max_requeues=self.config.max_requeues,
+            )
+        else:
+            self.broker = Broker(
+                self,
+                self.cloud,
+                self.policy,
+                self.records,
+                max_requeues=self.config.max_requeues,
+            )
+
+        explicit_jobs = jobs is not None
         if jobs is None:
             if self.scenario is not None:
                 from repro.dynamics import scenario_jobs
 
                 jobs = scenario_jobs(self.scenario, self.config)
+                if jobs is not None and self.tenant_mix is not None:
+                    # Scenario traffic shaped the arrivals; the mix decides
+                    # whose jobs they are.
+                    from repro.serve import route_jobs_to_tenants
+
+                    jobs = route_jobs_to_tenants(jobs, self.tenant_mix, self.config.seed)
+            if jobs is None and self.tenant_mix is not None:
+                from repro.serve import tenant_jobs
+
+                jobs = tenant_jobs(self.tenant_mix, self.config)
             if jobs is None:
                 jobs = generate_synthetic_jobs(
                     num_jobs=self.config.num_jobs,
@@ -126,6 +174,23 @@ class QCloudSimEnv(Environment):
                     arrival=self.config.arrival,
                     arrival_rate=self.config.arrival_rate,
                 )
+        if (
+            explicit_jobs
+            and self.tenant_mix is not None
+            and len(self.tenant_mix.tenants) > 1
+            and all(job.tenant is None for job in jobs)
+        ):
+            # An explicitly supplied, fully untagged workload (e.g. a CSV
+            # file) in a multi-tenant run: route it by tenant share like
+            # scenario traffic, instead of silently attributing everything
+            # to the default tenant.  Workloads carrying any tenant tag are
+            # taken at face value.  Routing stamps *clones* so the caller's
+            # job objects stay reusable with other mixes.
+            from repro.serve import route_jobs_to_tenants
+
+            jobs = route_jobs_to_tenants(
+                [job.clone() for job in jobs], self.tenant_mix, self.config.seed
+            )
         self.job_generator = JobGenerator(self, self.broker, jobs, records=self.records)
 
         #: The world-dynamics runtime (``None`` for plain static runs).
@@ -182,6 +247,19 @@ class QCloudSimEnv(Environment):
         """Aggregate the completed jobs into one row of Table 2."""
         name = strategy if strategy is not None else getattr(self.policy, "name", "custom")
         return summarize_records(self.completed_records, strategy=name)
+
+    def tenant_reports(self) -> list:
+        """Per-tenant SLO reports (multi-tenant serving runs only).
+
+        Raises ``RuntimeError`` when no tenant mix is configured — per-tenant
+        accounting needs the serve broker's tenant attribution.
+        """
+        if self.tenant_mix is None:
+            raise RuntimeError(
+                "tenant_reports() needs a multi-tenant run; set SimulationConfig.tenants "
+                "(e.g. 'single' or 'free-tier-vs-premium') or pass tenants=..."
+            )
+        return self.broker.tenant_reports()
 
     def device_utilization_report(self) -> dict:
         """Per-device execution statistics (sub-jobs completed, qubit-seconds)."""

@@ -4,7 +4,7 @@ The framework supports loading job workloads from CSV and JSON files for
 benchmarking, debugging and controlled comparative studies (§3).  The CSV
 schema matches :meth:`repro.cloud.qjob.QJob.as_dict`:
 
-``job_id,num_qubits,depth,num_shots,num_two_qubit_gates,num_single_qubit_gates,arrival_time,priority,name``
+``job_id,num_qubits,depth,num_shots,num_two_qubit_gates,num_single_qubit_gates,arrival_time,priority,name,tenant``
 """
 
 from __future__ import annotations
@@ -28,6 +28,7 @@ _CSV_FIELDS = [
     "arrival_time",
     "priority",
     "name",
+    "tenant",
 ]
 
 

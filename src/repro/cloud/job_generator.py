@@ -90,7 +90,10 @@ class JobGenerator:
         The broker jobs are submitted to.
     jobs:
         Pre-built jobs (deterministic mode).  Jobs are submitted in
-        arrival-time order; jobs without an arrival time arrive immediately.
+        arrival-time order; jobs sharing an arrival time are submitted in
+        priority order (smaller = more important, ties by job id), so the
+        broker's FIFO admission honours job priority within a batch.  Jobs
+        without an arrival time arrive immediately.
     records:
         Optional records manager for arrival logging (defaults to the
         broker's).
@@ -105,7 +108,9 @@ class JobGenerator:
     ) -> None:
         self.env = env
         self.broker = broker
-        self.jobs: List[QJob] = sorted(jobs, key=lambda j: (j.arrival_time, j.job_id))
+        self.jobs: List[QJob] = sorted(
+            jobs, key=lambda j: (j.arrival_time, j.priority, j.job_id)
+        )
         self.records = records if records is not None else broker.records
         #: The dispatch process (started by :meth:`start`).
         self.process: Optional[Process] = None

@@ -31,6 +31,9 @@ class QJobStatus(enum.Enum):
     COMPLETED = "completed"
     #: Failed (e.g. no feasible allocation).
     FAILED = "failed"
+    #: Shed by the admission controller before entering the dispatch queue
+    #: (multi-tenant serving only — see :mod:`repro.serve`).
+    REJECTED = "rejected"
 
 
 @dataclass
@@ -46,19 +49,29 @@ class QJob:
     arrival_time:
         Simulation time at which the job arrives (default 0).
     priority:
-        Smaller values are more important (only used by priority-aware
-        brokers / extensions).
+        Job importance, **smaller = more important** (any integer; negative
+        values outrank the default 0).  Jobs sharing an arrival time are
+        submitted in priority order, and the multi-tenant dispatch queue
+        breaks fair-share ties by priority.
+    tenant:
+        Owning tenant name (``None`` outside multi-tenant serving runs; the
+        serve broker stamps untagged jobs with its default tenant).
     """
 
     job_id: int
     circuit: CircuitSpec
     arrival_time: float = 0.0
     priority: int = 0
+    tenant: Optional[str] = None
     status: QJobStatus = field(default=QJobStatus.PENDING, compare=False)
 
     def __post_init__(self) -> None:
         if self.arrival_time < 0:
             raise ValueError("arrival_time must be non-negative")
+        if isinstance(self.priority, bool) or not isinstance(self.priority, int):
+            raise TypeError(
+                f"priority must be an int (smaller = more important), got {self.priority!r}"
+            )
 
     # -- convenience accessors matching the paper's notation ----------------
     @property
@@ -93,6 +106,7 @@ class QJob:
             circuit=self.circuit,
             arrival_time=self.arrival_time,
             priority=self.priority,
+            tenant=self.tenant,
         )
 
     def as_dict(self) -> Dict[str, object]:
@@ -105,6 +119,8 @@ class QJob:
                 "priority": self.priority,
             }
         )
+        if self.tenant is not None:
+            payload["tenant"] = self.tenant
         return payload
 
     @classmethod
@@ -118,11 +134,13 @@ class QJob:
             num_single_qubit_gates=int(payload.get("num_single_qubit_gates", 0)),
             name=str(payload.get("name", f"job_{payload['job_id']}")),
         )
+        tenant = payload.get("tenant")
         return cls(
             job_id=int(payload["job_id"]),
             circuit=circuit,
             arrival_time=float(payload.get("arrival_time", 0.0)),
             priority=int(payload.get("priority", 0)),
+            tenant=str(tenant) if tenant else None,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -5,6 +5,12 @@ The records manager logs the key events of every job — ``arrival``,
 :class:`JobRecord` per completed job.  The completed records are the raw
 material from which Table 2 and Fig. 6 are computed
 (:mod:`repro.metrics.aggregate`).
+
+Multi-tenant serving (:mod:`repro.serve`) adds two event kinds: ``rejected``
+(the admission controller shed the job before it entered the dispatch queue)
+and ``preempted`` (a running job's sub-jobs were aborted to make room for a
+higher-priority class).  Records carry the owning tenant so per-tenant SLO
+accounting can slice the results.
 """
 
 from __future__ import annotations
@@ -59,8 +65,11 @@ class JobRecord:
     allocation: List[int] = field(default_factory=list)
     processing_time: float = 0.0
     breakdowns: List[FidelityBreakdown] = field(default_factory=list)
-    #: Times the job was requeued after a device outage killed its sub-jobs.
+    #: Times the job was requeued after a device outage killed its sub-jobs
+    #: (or a higher-priority class preempted it — see :mod:`repro.serve`).
     retries: int = 0
+    #: Owning tenant (``None`` outside multi-tenant serving runs).
+    tenant: Optional[str] = None
 
     @property
     def wait_time(self) -> float:
@@ -91,6 +100,7 @@ class JobRecord:
             "devices": "|".join(self.devices),
             "allocation": "|".join(str(a) for a in self.allocation),
             "retries": self.retries,
+            "tenant": self.tenant or "",
         }
 
 
@@ -98,7 +108,16 @@ class JobRecordsManager:
     """Tracks job events and completed-job records during a simulation."""
 
     #: Event names logged by the framework.
-    EVENTS = ("arrival", "start", "finish", "fidelity", "failed", "requeue")
+    EVENTS = (
+        "arrival",
+        "start",
+        "finish",
+        "fidelity",
+        "failed",
+        "requeue",
+        "rejected",
+        "preempted",
+    )
 
     def __init__(self) -> None:
         self._events: List[JobEvent] = []
@@ -134,6 +153,14 @@ class JobRecordsManager:
     def log_requeue(self, job_id: int, time: float, detail: Optional[str] = None) -> None:
         """Record a job being requeued after an outage killed its sub-jobs."""
         self.log_event(job_id, "requeue", time, detail)
+
+    def log_rejection(self, job_id: int, time: float, reason: str) -> None:
+        """Record a job shed by the admission controller (multi-tenant serving)."""
+        self.log_event(job_id, "rejected", time, detail=reason)
+
+    def log_preemption(self, job_id: int, time: float, detail: Optional[str] = None) -> None:
+        """Record a running job preempted in favour of a higher priority class."""
+        self.log_event(job_id, "preempted", time, detail)
 
     def add_record(self, record: JobRecord) -> None:
         """Store the aggregated record of a completed job."""

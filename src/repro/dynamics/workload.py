@@ -5,6 +5,11 @@ jobs arrive when*: replay scenarios return their recorded workload, traffic
 scenarios generate one from their :class:`~repro.dynamics.scenario.TrafficSpec`
 (seeded deterministically from the config seed and the scenario identity),
 and all other scenarios defer to the configuration's default workload.
+
+In multi-tenant runs the environment additionally routes the scenario's
+traffic to tenants by share (see
+:func:`repro.serve.workload.route_jobs_to_tenants`): the scenario decides
+*when* jobs arrive, the tenant mix decides *whose* jobs they are.
 """
 
 from __future__ import annotations

@@ -29,6 +29,9 @@ __all__ = ["derive_seed", "PolicySpec", "ExperimentCell", "ExperimentSpec"]
 #: Sentinel: no scenario axis requested — cells keep the base config's scenario.
 _KEEP_SCENARIO = object()
 
+#: Sentinel: no tenant axis requested — cells keep the base config's tenants.
+_KEEP_TENANTS = object()
+
 
 def derive_seed(base_seed: Optional[int], *components: Any) -> int:
     """Derive a deterministic 63-bit seed from a base seed and components.
@@ -103,6 +106,23 @@ def _scenario_fingerprint(name: str) -> Optional[str]:
         return None
 
 
+def _tenants_fingerprint(name: str) -> Optional[str]:
+    """Content hash of what a tenant-mix reference currently resolves to.
+
+    Same honesty contract as :func:`_scenario_fingerprint`: a mix
+    re-registered with different tenants must not return stale cache hits,
+    and an unresolvable reference marks the cell uncacheable.
+    """
+    try:
+        from repro.serve import get_tenant_mix
+    except ImportError:  # pragma: no cover - serve always ships
+        return None
+    try:
+        return hashlib.sha256(repr(get_tenant_mix(name)).encode("utf-8")).hexdigest()
+    except KeyError:
+        return None
+
+
 @dataclass(frozen=True)
 class ExperimentCell:
     """One grid cell: a single simulation to run and summarise.
@@ -139,11 +159,17 @@ class ExperimentCell:
             scenario_content = _scenario_fingerprint(self.config.scenario)
             if scenario_content is None:
                 return None
+        tenants_content = None
+        if self.config.tenants is not None:
+            tenants_content = _tenants_fingerprint(self.config.tenants)
+            if tenants_content is None:
+                return None
         payload: Dict[str, Any] = {
             "strategy": self.strategy,
             "seed": self.seed,
             "config": self.config.as_dict(),
             "scenario_content": scenario_content,
+            "tenants_content": tenants_content,
             "policy_spec": self.policy_spec.fingerprint() if self.policy_spec else None,
             "jobs": _jobs_fingerprint(self.jobs) if self.jobs is not None else None,
         }
@@ -185,6 +211,11 @@ class ExperimentSpec:
         :mod:`repro.dynamics`); each entry becomes one grid column (crossed
         with ``overrides``).  ``None`` in the tuple means "no scenario";
         omitting the axis keeps the base config's own scenario.
+    tenant_mixes:
+        Grid axis of multi-tenant mix names (see :mod:`repro.serve`);
+        crossed with ``scenarios`` and ``overrides``.  ``None`` in the tuple
+        means "plain single-queue broker"; omitting the axis keeps the base
+        config's own tenants.
     """
 
     base_config: SimulationConfig
@@ -199,6 +230,7 @@ class ExperimentSpec:
     policies: Mapping[str, Any] = field(default_factory=dict)
     jobs: Optional[Tuple[QJob, ...]] = None
     scenarios: Optional[Tuple[Optional[str], ...]] = None
+    tenant_mixes: Optional[Tuple[Optional[str], ...]] = None
 
     def __post_init__(self) -> None:
         if not self.strategies:
@@ -211,6 +243,8 @@ class ExperimentSpec:
             raise ValueError("overrides must be non-empty (use ({},) for none)")
         if self.scenarios is not None and not self.scenarios:
             raise ValueError("scenarios must be non-empty when given")
+        if self.tenant_mixes is not None and not self.tenant_mixes:
+            raise ValueError("tenant_mixes must be non-empty when given")
 
     def replicate_seeds(self) -> List[int]:
         """The workload seed of every replicate (deterministic)."""
@@ -224,43 +258,52 @@ class ExperimentSpec:
         ]
 
     def cells(self) -> List[ExperimentCell]:
-        """Expand the grid into flat cells (scenario-major, then override,
-        then replicate, then strategy — Table 2 order inside each replicate)."""
+        """Expand the grid into flat cells (tenant-mix-major, then scenario,
+        then override, then replicate, then strategy — Table 2 order inside
+        each replicate)."""
         cells: List[ExperimentCell] = []
         index = 0
         scenario_axis: Tuple[Any, ...] = (
             self.scenarios if self.scenarios is not None else (_KEEP_SCENARIO,)
         )
-        for scenario in scenario_axis:
-            for override in self.overrides:
-                for replicate, seed in enumerate(self.replicate_seeds()):
-                    for strategy in self.strategies:
-                        payload = dict(self.base_config.as_dict())
-                        payload.update(override)
-                        payload["policy"] = strategy
-                        payload["seed"] = seed
-                        if scenario is not _KEEP_SCENARIO:
-                            payload["scenario"] = scenario
-                        cells.append(
-                            ExperimentCell(
-                                index=index,
-                                strategy=strategy,
-                                seed=seed,
-                                config=SimulationConfig(**payload),
-                                policy_spec=self.policy_specs.get(strategy),
-                                policy=self.policies.get(strategy),
-                                jobs=self.jobs,
-                                replicate=replicate,
+        tenants_axis: Tuple[Any, ...] = (
+            self.tenant_mixes if self.tenant_mixes is not None else (_KEEP_TENANTS,)
+        )
+        for tenants in tenants_axis:
+            for scenario in scenario_axis:
+                for override in self.overrides:
+                    for replicate, seed in enumerate(self.replicate_seeds()):
+                        for strategy in self.strategies:
+                            payload = dict(self.base_config.as_dict())
+                            payload.update(override)
+                            payload["policy"] = strategy
+                            payload["seed"] = seed
+                            if scenario is not _KEEP_SCENARIO:
+                                payload["scenario"] = scenario
+                            if tenants is not _KEEP_TENANTS:
+                                payload["tenants"] = tenants
+                            cells.append(
+                                ExperimentCell(
+                                    index=index,
+                                    strategy=strategy,
+                                    seed=seed,
+                                    config=SimulationConfig(**payload),
+                                    policy_spec=self.policy_specs.get(strategy),
+                                    policy=self.policies.get(strategy),
+                                    jobs=self.jobs,
+                                    replicate=replicate,
+                                )
                             )
-                        )
-                        index += 1
+                            index += 1
         return cells
 
     def __len__(self) -> int:
         scenario_count = len(self.scenarios) if self.scenarios is not None else 1
+        tenants_count = len(self.tenant_mixes) if self.tenant_mixes is not None else 1
         return (
             len(self.strategies)
             * len(self.replicate_seeds())
             * len(self.overrides)
             * scenario_count
+            * tenants_count
         )

@@ -1,0 +1,132 @@
+"""Per-tenant admission control: token buckets and queue caps.
+
+The admission controller is the serve broker's first line of defence: it
+decides *at submission time* whether a job may enter the dispatch queue at
+all.  Two independent limits per tenant (see
+:class:`~repro.serve.tenant.AdmissionSpec`):
+
+* a **token bucket** on the submission rate — the bucket holds up to
+  ``burst`` tokens, refills at ``rate`` tokens/second of simulated time and
+  each admitted job consumes one token,
+* a **queue cap** — at most ``max_queued`` of the tenant's jobs may be
+  waiting in the dispatch queue simultaneously.
+
+Decisions are pure functions of simulated time and prior decisions, so runs
+remain bit-reproducible.  Rejected jobs never reach the device fleet; the
+broker logs a ``rejected`` record event carrying the tenant and reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.serve.tenant import TenantMix
+
+__all__ = ["AdmissionDecision", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    admitted: bool
+    #: Machine-readable reason (``"ok"``, ``"rate_limit"`` or ``"queue_full"``).
+    reason: str = "ok"
+
+
+class _TokenBucket:
+    """A lazily-refilled token bucket over simulated time."""
+
+    __slots__ = ("rate", "burst", "tokens", "last_refill")
+
+    def __init__(self, rate: float, burst: float) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)  # start full: an initial burst is admitted
+        self.last_refill = 0.0
+
+    def try_take(self, now: float) -> bool:
+        elapsed = now - self.last_refill
+        if elapsed > 0:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+            self.last_refill = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class AdmissionController:
+    """Tracks per-tenant buckets and queue occupancy for one simulation."""
+
+    def __init__(self, mix: TenantMix) -> None:
+        self.mix = mix
+        self._buckets: Dict[str, _TokenBucket] = {}
+        self._queued: Dict[str, int] = {}
+        self._rejections: Dict[str, int] = {}
+        for tenant in mix.tenants:
+            if tenant.admission.rate is not None:
+                self._buckets[tenant.name] = _TokenBucket(
+                    tenant.admission.rate, tenant.admission.burst
+                )
+            self._queued[tenant.name] = 0
+            self._rejections[tenant.name] = 0
+
+    # -- admission ------------------------------------------------------------
+    def admit(self, tenant_name: str, now: float) -> AdmissionDecision:
+        """Decide whether one job of *tenant_name* may enter the queue at *now*.
+
+        An admitted job counts against the tenant's queue occupancy until
+        :meth:`job_started` (or a terminal :meth:`job_left`) is called.
+        """
+        spec = self.mix.tenant(tenant_name)
+        cap = spec.admission.max_queued
+        if cap is not None and self._queued[tenant_name] >= cap:
+            self._rejections[tenant_name] += 1
+            return AdmissionDecision(admitted=False, reason="queue_full")
+        bucket = self._buckets.get(tenant_name)
+        if bucket is not None and not bucket.try_take(now):
+            self._rejections[tenant_name] += 1
+            return AdmissionDecision(admitted=False, reason="rate_limit")
+        self._queued[tenant_name] += 1
+        return AdmissionDecision(admitted=True)
+
+    # -- queue occupancy ------------------------------------------------------
+    def job_started(self, tenant_name: str) -> None:
+        """A queued job of *tenant_name* started running (left the queue)."""
+        self._decrement(tenant_name)
+
+    def job_requeued(self, tenant_name: str) -> None:
+        """A running job of *tenant_name* re-entered the queue (outage/preemption).
+
+        Requeued jobs re-occupy a queue slot but are never re-priced by the
+        token bucket — admission is a one-time decision.
+        """
+        self._queued[tenant_name] += 1
+
+    def job_left(self, tenant_name: str) -> None:
+        """A queued job of *tenant_name* left the queue terminally (failed)."""
+        self._decrement(tenant_name)
+
+    def _decrement(self, tenant_name: str) -> None:
+        if self._queued[tenant_name] <= 0:
+            raise RuntimeError(f"queue underflow for tenant {tenant_name!r}")
+        self._queued[tenant_name] -= 1
+
+    # -- queries ---------------------------------------------------------------
+    def queued(self, tenant_name: str) -> int:
+        """Jobs of *tenant_name* currently occupying queue slots."""
+        return self._queued[tenant_name]
+
+    def rejections(self, tenant_name: str) -> int:
+        """Jobs of *tenant_name* rejected so far."""
+        return self._rejections[tenant_name]
+
+    def tokens(self, tenant_name: str) -> Optional[float]:
+        """Tokens currently in the tenant's bucket (``None`` if unlimited)."""
+        bucket = self._buckets.get(tenant_name)
+        return None if bucket is None else bucket.tokens
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<AdmissionController mix={self.mix.name!r} queued={dict(self._queued)}>"

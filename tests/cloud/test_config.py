@@ -55,6 +55,14 @@ class TestDerivedConfigs:
         assert cfg.scenario is None
         assert drifted.with_scenario(None).scenario is None
 
+    def test_with_tenants_copies(self):
+        cfg = SimulationConfig(num_jobs=10)
+        served = cfg.with_tenants("free-tier-vs-premium")
+        assert served.tenants == "free-tier-vs-premium"
+        assert served.num_jobs == 10
+        assert cfg.tenants is None
+        assert served.with_tenants(None).tenants is None
+
     def test_as_dict_roundtrip(self):
         cfg = SimulationConfig(num_jobs=5, seed=9)
         rebuilt = SimulationConfig(**cfg.as_dict())

@@ -70,6 +70,15 @@ class TestExamples:
             assert scenario in result.stdout
         assert "best fidelity under" in result.stdout
 
+    def test_tenant_sweep(self):
+        result = run_example("tenant_sweep.py", "8")
+        assert result.returncode == 0, result.stderr
+        for mix in ("single", "free-tier-vs-premium", "batch-vs-interactive",
+                    "noisy-neighbor"):
+            assert mix in result.stdout
+        assert "Per-tenant SLO report" in result.stdout
+        assert "premium" in result.stdout
+
     def test_custom_policy(self):
         result = run_example("custom_policy.py", "20")
         assert result.returncode == 0, result.stderr

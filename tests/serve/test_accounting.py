@@ -1,0 +1,109 @@
+"""SLO accounting math on hand-crafted records and events."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.records import JobEvent, JobRecord
+from repro.serve import SLOSpec, TenantMix, TenantSpec, compute_tenant_reports, slo_satisfied
+
+
+def record(job_id, tenant, arrival=0.0, start=10.0, finish=30.0, fidelity=0.8):
+    return JobRecord(
+        job_id=job_id,
+        num_qubits=100,
+        depth=5,
+        num_shots=1000,
+        arrival_time=arrival,
+        start_time=start,
+        finish_time=finish,
+        fidelity=fidelity,
+        communication_time=0.0,
+        num_devices=1,
+        tenant=tenant,
+    )
+
+
+class TestSLOSatisfied:
+    def test_unbounded_always_met(self):
+        assert slo_satisfied(record(0, "t"), SLOSpec())
+
+    def test_queue_deadline(self):
+        slo = SLOSpec(queue_deadline=5.0)
+        assert not slo_satisfied(record(0, "t", start=10.0), slo)
+        assert slo_satisfied(record(0, "t", start=5.0), slo)  # boundary: <=
+
+    def test_completion_deadline(self):
+        slo = SLOSpec(completion_deadline=25.0)
+        assert not slo_satisfied(record(0, "t", finish=30.0), slo)
+        assert slo_satisfied(record(0, "t", finish=25.0), slo)
+
+    def test_fidelity_floor(self):
+        slo = SLOSpec(fidelity_floor=0.9)
+        assert not slo_satisfied(record(0, "t", fidelity=0.8), slo)
+        assert slo_satisfied(record(0, "t", fidelity=0.9), slo)
+
+
+class TestComputeTenantReports:
+    def mix(self):
+        return TenantMix(
+            name="m",
+            tenants=(
+                TenantSpec(name="a", priority_class=0, slo=SLOSpec(queue_deadline=15.0)),
+                TenantSpec(name="b", priority_class=2),
+            ),
+        )
+
+    def test_counts_and_attainment(self):
+        records = [
+            record(0, "a", start=10.0),   # meets SLO
+            record(1, "a", start=20.0),   # violates queue deadline
+            record(2, "b"),
+        ]
+        events = [
+            JobEvent(3, "rejected", 0.0, "a:rate_limit"),
+            JobEvent(4, "failed", 5.0, "no feasible allocation"),
+            JobEvent(2, "preempted", 3.0, None),
+            JobEvent(2, "preempted", 6.0, None),
+        ]
+        tenant_of = {0: "a", 1: "a", 2: "b", 3: "a", 4: "b"}
+        report_a, report_b = compute_tenant_reports(self.mix(), records, events, tenant_of)
+
+        assert report_a.tenant == "a"
+        assert report_a.submitted == 3
+        assert report_a.completed == 2
+        assert report_a.rejected == 1
+        assert report_a.violated == 1
+        # 1 of 3 submitted jobs completed within SLO.
+        assert report_a.attainment == pytest.approx(1 / 3)
+
+        assert report_b.submitted == 2
+        assert report_b.completed == 1
+        assert report_b.failed == 1
+        assert report_b.preemptions == 2
+        assert report_b.attainment == pytest.approx(1 / 2)
+
+    def test_percentiles_match_numpy(self):
+        waits = [1.0, 2.0, 3.0, 4.0, 10.0]
+        records = [record(i, "a", start=w, finish=w + 5.0) for i, w in enumerate(waits)]
+        tenant_of = {i: "a" for i in range(len(waits))}
+        report_a, _ = compute_tenant_reports(self.mix(), records, [], tenant_of)
+        assert report_a.queue_p50 == pytest.approx(np.percentile(waits, 50))
+        assert report_a.queue_p95 == pytest.approx(np.percentile(waits, 95))
+        assert report_a.queue_p99 == pytest.approx(np.percentile(waits, 99))
+        turnarounds = [w + 5.0 for w in waits]
+        assert report_a.completion_p99 == pytest.approx(np.percentile(turnarounds, 99))
+
+    def test_empty_tenant_yields_none_percentiles(self):
+        report_a, report_b = compute_tenant_reports(self.mix(), [], [], {})
+        for r in (report_a, report_b):
+            assert r.completed == 0
+            assert r.queue_p50 is None
+            assert r.mean_fidelity is None
+            assert r.attainment == 1.0  # nothing submitted, nothing missed
+
+    def test_as_dict_is_json_safe(self):
+        import json
+
+        report_a, _ = compute_tenant_reports(self.mix(), [record(0, "a")], [], {0: "a"})
+        payload = json.dumps(report_a.as_dict())
+        assert "attainment" in payload

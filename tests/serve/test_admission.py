@@ -1,0 +1,93 @@
+"""Admission-controller unit tests: token buckets, queue caps, accounting."""
+
+import pytest
+
+from repro.serve import AdmissionController, AdmissionSpec, TenantMix, TenantSpec
+
+
+def mix_with(admission: AdmissionSpec) -> TenantMix:
+    return TenantMix(name="m", tenants=(TenantSpec(name="t", admission=admission),))
+
+
+class TestTokenBucket:
+    def test_burst_then_rate_limit(self):
+        controller = AdmissionController(mix_with(AdmissionSpec(rate=0.1, burst=2.0)))
+        assert controller.admit("t", 0.0).admitted
+        assert controller.admit("t", 0.0).admitted
+        decision = controller.admit("t", 0.0)
+        assert not decision.admitted
+        assert decision.reason == "rate_limit"
+        assert controller.rejections("t") == 1
+
+    def test_refill_over_time(self):
+        controller = AdmissionController(mix_with(AdmissionSpec(rate=0.1, burst=2.0)))
+        for _ in range(2):
+            assert controller.admit("t", 0.0).admitted
+        assert not controller.admit("t", 0.0).admitted
+        # 10 seconds at 0.1 tokens/s refills exactly one token.
+        assert controller.admit("t", 10.0).admitted
+        assert not controller.admit("t", 10.0).admitted
+
+    def test_bucket_never_exceeds_burst(self):
+        controller = AdmissionController(mix_with(AdmissionSpec(rate=1.0, burst=3.0)))
+        # A long quiet period still caps the bucket at `burst` tokens.
+        for _ in range(3):
+            assert controller.admit("t", 1000.0).admitted
+        assert not controller.admit("t", 1000.0).admitted
+
+    def test_unlimited_admits_everything(self):
+        controller = AdmissionController(mix_with(AdmissionSpec()))
+        for i in range(100):
+            assert controller.admit("t", 0.0).admitted
+        assert controller.rejections("t") == 0
+        assert controller.tokens("t") is None
+
+
+class TestQueueCap:
+    def test_rejects_when_queue_full(self):
+        controller = AdmissionController(mix_with(AdmissionSpec(max_queued=2)))
+        assert controller.admit("t", 0.0).admitted
+        assert controller.admit("t", 0.0).admitted
+        decision = controller.admit("t", 0.0)
+        assert not decision.admitted
+        assert decision.reason == "queue_full"
+
+    def test_start_frees_queue_slot(self):
+        controller = AdmissionController(mix_with(AdmissionSpec(max_queued=1)))
+        assert controller.admit("t", 0.0).admitted
+        assert not controller.admit("t", 1.0).admitted
+        controller.job_started("t")
+        assert controller.queued("t") == 0
+        assert controller.admit("t", 2.0).admitted
+
+    def test_requeue_reoccupies_slot(self):
+        controller = AdmissionController(mix_with(AdmissionSpec(max_queued=1)))
+        assert controller.admit("t", 0.0).admitted
+        controller.job_started("t")
+        controller.job_requeued("t")
+        assert controller.queued("t") == 1
+        assert not controller.admit("t", 3.0).admitted
+
+    def test_underflow_raises(self):
+        controller = AdmissionController(mix_with(AdmissionSpec()))
+        with pytest.raises(RuntimeError):
+            controller.job_started("t")
+
+
+class TestPerTenantIsolation:
+    def test_buckets_are_independent(self):
+        mix = TenantMix(
+            name="m",
+            tenants=(
+                TenantSpec(name="limited", admission=AdmissionSpec(rate=0.01, burst=1.0)),
+                TenantSpec(name="open"),
+            ),
+        )
+        controller = AdmissionController(mix)
+        assert controller.admit("limited", 0.0).admitted
+        assert not controller.admit("limited", 0.0).admitted
+        # The other tenant is unaffected.
+        for _ in range(10):
+            assert controller.admit("open", 0.0).admitted
+        assert controller.rejections("open") == 0
+        assert controller.rejections("limited") == 1

@@ -1,0 +1,305 @@
+"""Serve-broker behaviour: fair-share dispatch, overtaking, preemption,
+admission rejection accounting and seed determinism."""
+
+import pytest
+
+from repro.circuits.circuit import CircuitSpec
+from repro.cloud.config import SimulationConfig
+from repro.cloud.environment import QCloudSimEnv
+from repro.cloud.qjob import QJob, QJobStatus
+from repro.hardware.backends import get_device_profile
+from repro.serve import AdmissionSpec, SLOSpec, TenantMix, TenantSpec
+
+
+def one_device():
+    """A single 127-qubit device: jobs sized 127 run strictly one at a time."""
+    return [get_device_profile("ibm_brussels")]
+
+
+def make_job(job_id, tenant, q=127, arrival=0.0, shots=50_000, priority=0):
+    circuit = CircuitSpec(
+        num_qubits=q,
+        depth=8,
+        num_shots=shots,
+        num_two_qubit_gates=12,
+        num_single_qubit_gates=30,
+        name=f"job_{job_id}",
+    )
+    return QJob(
+        job_id=job_id, circuit=circuit, arrival_time=arrival, tenant=tenant, priority=priority
+    )
+
+
+def run_env(mix, jobs, devices=None, **config_kwargs):
+    config = SimulationConfig(num_jobs=max(1, len(jobs)), **config_kwargs)
+    env = QCloudSimEnv(
+        config=config, devices=devices or one_device(), jobs=jobs, tenants=mix
+    )
+    records = env.run_until_complete()
+    return env, records
+
+
+def start_order(records):
+    return [r.job_id for r in sorted(records, key=lambda r: (r.start_time, r.job_id))]
+
+
+class TestWeightedFairDispatch:
+    def test_weights_split_same_class_capacity(self):
+        """Weight-3 tenant gets 3 of the first 4 dispatch slots (SFQ tags)."""
+        mix = TenantMix(
+            name="wfq",
+            tenants=(
+                TenantSpec(name="heavy", priority_class=1, weight=3.0),
+                TenantSpec(name="light", priority_class=1, weight=1.0),
+            ),
+        )
+        jobs = [make_job(i, "heavy") for i in range(4)]
+        jobs += [make_job(4 + i, "light") for i in range(4)]
+        env, records = run_env(mix, jobs)
+
+        assert len(records) == 8
+        # Virtual finish tags: heavy = 42.3, 84.7, 127, 169.3; light = 127,
+        # 254, 381, 508.  Ties (127) break by submission order.
+        assert start_order(records) == [0, 1, 2, 4, 3, 5, 6, 7]
+
+    def test_equal_weights_interleave(self):
+        mix = TenantMix(
+            name="even",
+            tenants=(
+                TenantSpec(name="a", priority_class=1, weight=1.0),
+                TenantSpec(name="b", priority_class=1, weight=1.0),
+            ),
+        )
+        jobs = [make_job(i, "a") for i in range(3)]
+        jobs += [make_job(3 + i, "b") for i in range(3)]
+        env, records = run_env(mix, jobs)
+        # Equal tags alternate a/b by submission order within each tag value.
+        assert start_order(records) == [0, 3, 1, 4, 2, 5]
+
+
+class TestPriorityClasses:
+    def test_premium_overtakes_queued_backlog(self):
+        """A later premium arrival runs before already-queued lower class jobs."""
+        mix = TenantMix(
+            name="classes",
+            tenants=(
+                TenantSpec(name="premium", priority_class=0),
+                TenantSpec(name="free", priority_class=2),
+            ),
+        )
+        jobs = [make_job(i, "free", arrival=0.0) for i in range(3)]
+        jobs.append(make_job(10, "premium", arrival=5.0))
+        env, records = run_env(mix, jobs)
+
+        order = start_order(records)
+        # free job 0 is already running at t=5; the premium job overtakes
+        # the two queued free jobs (the parked floor holder yields).
+        assert order[0] == 0
+        assert order[1] == 10
+        assert set(order[2:]) == {1, 2}
+
+    def test_job_priority_breaks_ties_within_class(self):
+        """QJob.priority (smaller = more important) orders same-tag jobs."""
+        mix = TenantMix(
+            name="prio", tenants=(TenantSpec(name="t", priority_class=1),)
+        )
+        # Same arrival, same size: the fair tags are assigned in submission
+        # order, and submission order honours job priority.
+        jobs = [
+            make_job(0, "t", priority=5),
+            make_job(1, "t", priority=0),
+            make_job(2, "t", priority=3),
+        ]
+        env, records = run_env(mix, jobs)
+        assert start_order(records) == [1, 2, 0]
+
+
+class TestPreemption:
+    def mix(self, deadline=50.0):
+        return TenantMix(
+            name="preempt",
+            tenants=(
+                TenantSpec(name="premium", priority_class=0, slo=SLOSpec(queue_deadline=deadline)),
+                TenantSpec(name="batch", priority_class=2),
+            ),
+        )
+
+    def test_deadline_preempts_lower_class(self):
+        """A premium job past its queueing SLO aborts a running batch job."""
+        jobs = [make_job(0, "batch", q=600, arrival=0.0)]
+        jobs.append(make_job(1, "premium", q=600, arrival=10.0, shots=20_000))
+        devices = [
+            get_device_profile(name)
+            for name in ("ibm_brussels", "ibm_strasbourg", "ibm_quebec",
+                         "ibm_kyiv", "ibm_kawasaki")
+        ]
+        env, records = run_env(self.mix(), jobs, devices=devices)
+
+        assert len(records) == 2
+        premium = env.records.record_for(1)
+        batch = env.records.record_for(0)
+        # The premium job starts exactly at its deadline (arrival 10 + 50).
+        assert premium.start_time == pytest.approx(60.0)
+        assert premium.wait_time == pytest.approx(50.0)
+        # The batch job was preempted once, requeued, and finished later.
+        assert batch.retries == 1
+        assert batch.start_time > premium.start_time
+        assert env.broker.preempted_total == 1
+        events = [e.event for e in env.records.events_for(0)]
+        assert "preempted" in events and "requeue" in events
+
+    def test_preemption_requeue_ordering(self):
+        """A preempted victim re-enters the queue behind its class peers'
+        fair-share position and runs only after the preemptor finished."""
+        jobs = [make_job(0, "batch", q=600, arrival=0.0)]
+        jobs.append(make_job(1, "premium", q=600, arrival=10.0, shots=20_000))
+        devices = [
+            get_device_profile(name)
+            for name in ("ibm_brussels", "ibm_strasbourg", "ibm_quebec",
+                         "ibm_kyiv", "ibm_kawasaki")
+        ]
+        env, records = run_env(self.mix(), jobs, devices=devices)
+        premium = env.records.record_for(1)
+        batch = env.records.record_for(0)
+        assert batch.start_time >= premium.finish_time
+        # Requeue and preemption were logged at the preemption instant.
+        (preempt_event,) = [e for e in env.records.events_for(0) if e.event == "preempted"]
+        assert preempt_event.time == pytest.approx(60.0)
+        assert "by job 1 (premium)" in preempt_event.detail
+
+    def test_no_preemption_within_same_class(self):
+        """Deadline misses never abort equal-or-higher-class jobs."""
+        mix = TenantMix(
+            name="same-class",
+            tenants=(
+                TenantSpec(name="a", priority_class=1, slo=SLOSpec(queue_deadline=10.0)),
+                TenantSpec(name="b", priority_class=1),
+            ),
+        )
+        jobs = [make_job(0, "b", arrival=0.0), make_job(1, "a", arrival=0.0)]
+        env, records = run_env(mix, jobs)
+        assert env.broker.preempted_total == 0
+        assert env.records.record_for(0).retries == 0
+
+
+class TestAdmissionRejection:
+    def test_queue_cap_sheds_batch_arrivals(self):
+        mix = TenantMix(
+            name="cap",
+            tenants=(
+                TenantSpec(name="t", admission=AdmissionSpec(max_queued=2)),
+            ),
+        )
+        jobs = [make_job(i, "t") for i in range(5)]
+        env, records = run_env(mix, jobs)
+
+        # All five arrive in one batch: two fill the queue slots before any
+        # job can start, the remaining three are shed.
+        assert len(env.broker.rejected_jobs) == 3
+        assert len(records) == 2
+        rejected_ids = {j.job_id for j in env.broker.rejected_jobs}
+        assert all(env.records.record_for(i) is None for i in rejected_ids)
+        for job in env.broker.rejected_jobs:
+            assert job.status is QJobStatus.REJECTED
+        rejected_events = [e for e in env.records.events if e.event == "rejected"]
+        assert {e.job_id for e in rejected_events} == rejected_ids
+        assert all(e.detail == "t:queue_full" for e in rejected_events)
+
+        (report,) = env.tenant_reports()
+        assert report.submitted == 5
+        assert report.completed == 2
+        assert report.rejected == 3
+        assert report.attainment == pytest.approx(2 / 5)
+
+    def test_rate_limit_sheds_burst(self):
+        mix = TenantMix(
+            name="rate",
+            tenants=(
+                TenantSpec(name="t", admission=AdmissionSpec(rate=0.001, burst=2.0)),
+            ),
+        )
+        jobs = [make_job(i, "t") for i in range(4)]
+        env, records = run_env(mix, jobs)
+        assert len(records) == 2
+        rejected_events = [e for e in env.records.events if e.event == "rejected"]
+        assert len(rejected_events) == 2
+        assert all(e.detail == "t:rate_limit" for e in rejected_events)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("mix_name", ["free-tier-vs-premium", "noisy-neighbor"])
+    def test_same_seed_bit_identical(self, mix_name):
+        def run():
+            config = SimulationConfig(num_jobs=30, seed=11, tenants=mix_name)
+            env = QCloudSimEnv(config)
+            records = env.run_until_complete()
+            return records, env.tenant_reports(), env.records.events
+
+        records_a, reports_a, events_a = run()
+        records_b, reports_b, events_b = run()
+        assert [r.as_dict() for r in records_a] == [r.as_dict() for r in records_b]
+        assert reports_a == reports_b
+        assert events_a == events_b
+
+    def test_different_seeds_differ(self):
+        def run(seed):
+            env = QCloudSimEnv(
+                SimulationConfig(num_jobs=30, seed=seed, tenants="free-tier-vs-premium")
+            )
+            return env.run_until_complete()
+
+        assert [r.as_dict() for r in run(1)] != [r.as_dict() for r in run(2)]
+
+    def test_fully_untagged_workload_is_routed_by_share(self):
+        """An explicit workload with no tenant tags is routed like scenario
+        traffic instead of silently landing on the default tenant."""
+        mix = TenantMix(
+            name="routed",
+            tenants=(
+                TenantSpec(name="main", share=0.5),
+                TenantSpec(name="other", priority_class=1, share=0.5),
+            ),
+        )
+        jobs = [make_job(i, tenant=None) for i in range(20)]
+        env, records = run_env(mix, jobs)
+        tenants = {r.tenant for r in records}
+        assert tenants == {"main", "other"}
+        reports = {r.tenant: r for r in env.tenant_reports()}
+        assert reports["main"].submitted + reports["other"].submitted == 20
+        assert reports["main"].submitted > 0 and reports["other"].submitted > 0
+
+    def test_routing_does_not_mutate_callers_workload(self):
+        """The same explicit workload is reusable across different mixes."""
+        mix_a = TenantMix(
+            name="mix-a",
+            tenants=(TenantSpec(name="x", share=0.5),
+                     TenantSpec(name="y", priority_class=1, share=0.5)),
+        )
+        mix_b = TenantMix(
+            name="mix-b",
+            tenants=(TenantSpec(name="p", share=0.5),
+                     TenantSpec(name="q", priority_class=1, share=0.5)),
+        )
+        jobs = [make_job(i, tenant=None) for i in range(6)]
+        _, records_a = run_env(mix_a, jobs)
+        assert all(job.tenant is None for job in jobs)  # caller's objects untouched
+        _, records_b = run_env(mix_b, jobs)
+        assert {r.tenant for r in records_a} <= {"x", "y"}
+        assert {r.tenant for r in records_b} <= {"p", "q"}
+
+    def test_partially_tagged_workload_stamps_default(self):
+        """Untagged stragglers in a tagged workload get the default tenant."""
+        mix = TenantMix(
+            name="default-stamp",
+            tenants=(TenantSpec(name="main"), TenantSpec(name="other", priority_class=1)),
+        )
+        jobs = [make_job(0, tenant="other"), make_job(1, tenant=None)]
+        env, records = run_env(mix, jobs)
+        by_id = {r.job_id: r.tenant for r in records}
+        assert by_id == {0: "other", 1: "main"}
+
+    def test_unknown_tenant_tag_raises(self):
+        """A typo'd tenant tag must fail loudly, not corrupt the accounting."""
+        mix = TenantMix(name="strict", tenants=(TenantSpec(name="main"),))
+        with pytest.raises(KeyError, match="unknown tenant"):
+            run_env(mix, [make_job(0, tenant="mian")])

@@ -1,0 +1,125 @@
+"""The ``single`` tenant mix must be byte-identical to the plain broker.
+
+This is the serve layer's no-regression guarantee: with one unlimited
+tenant the dispatch keys are monotone in submission order, the floor is
+never yielded, nothing is rejected and nothing is preempted — so every
+completed job record (times, fidelities, device assignments, retries) and
+every life-cycle event is *exactly* equal to a run without the serve layer,
+across all four paper strategies.  The only difference is the tenant tag
+the serve broker stamps on jobs and records.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloud.broker import Broker
+from repro.cloud.config import SimulationConfig
+from repro.cloud.environment import QCloudSimEnv
+from repro.serve import ServeBroker
+
+JOBS = 25
+SEED = 2025
+
+
+def _rl_policy():
+    from repro.gymapi.spaces import Box
+    from repro.rl.policies import ActorCriticPolicy
+    from repro.scheduling.rl_policy import RLAllocationPolicy
+
+    net = ActorCriticPolicy(
+        Box(0.0, np.inf, shape=(16,), dtype=np.float64),
+        Box(0.0, 1.0, shape=(5,), dtype=np.float64),
+        seed=0,
+    )
+    return RLAllocationPolicy(net)
+
+
+def _run(policy_name, tenants):
+    policy = _rl_policy() if policy_name == "rlbase" else None
+    config = SimulationConfig(
+        num_jobs=JOBS,
+        seed=SEED,
+        policy=policy_name if policy_name != "rlbase" else "speed",
+        tenants=tenants,
+    )
+    env = QCloudSimEnv(config, policy=policy)
+    records = env.run_until_complete()
+    return env, records
+
+
+@pytest.mark.parametrize("policy_name", ["speed", "fidelity", "fair", "rlbase"])
+def test_single_mix_byte_identical(policy_name):
+    env_plain, plain = _run(policy_name, tenants=None)
+    env_serve, serve = _run(policy_name, tenants="single")
+
+    assert isinstance(env_plain.broker, Broker)
+    assert not isinstance(env_plain.broker, ServeBroker)
+    assert isinstance(env_serve.broker, ServeBroker)
+    assert env_serve.broker.rejected_jobs == []
+    assert env_serve.broker.preempted_total == 0
+
+    assert len(serve) == JOBS
+    # Every field except the tenant tag must be exactly equal — float times,
+    # fidelities, device assignments and per-device breakdowns included.
+    plain_dicts = [r.as_dict() for r in plain]
+    serve_dicts = [r.as_dict() for r in serve]
+    for d in plain_dicts:
+        assert d.pop("tenant") == ""
+    for d in serve_dicts:
+        assert d.pop("tenant") == "default"
+    assert serve_dicts == plain_dicts
+    assert [r.breakdowns for r in serve] == [r.breakdowns for r in plain]
+    # The event logs (arrival/start/finish/fidelity with exact times) match too.
+    assert env_serve.records.events == env_plain.records.events
+
+
+def test_single_mix_identical_clock():
+    env_plain, _ = _run("speed", tenants=None)
+    env_serve, _ = _run("speed", tenants="single")
+    assert env_serve.now == env_plain.now
+
+
+def test_single_mix_byte_identical_under_requeues():
+    """Byte-identity must survive outage requeues: a requeued job re-enters
+    the serve dispatch queue exactly where the plain FIFO would put it (a
+    fresh request at the back), not at its original fair-share position."""
+
+    def run(tenants):
+        config = SimulationConfig(
+            num_jobs=60, seed=SEED, policy="fidelity", scenario="flaky-fleet",
+            tenants=tenants,
+        )
+        env = QCloudSimEnv(config)
+        records = env.run_until_complete()
+        return env, records
+
+    env_plain, plain = run(None)
+    env_serve, serve = run("single")
+    assert sum(r.retries for r in plain) > 0, "scenario produced no requeues"
+
+    plain_dicts = [r.as_dict() for r in plain]
+    serve_dicts = [r.as_dict() for r in serve]
+    for d in plain_dicts:
+        d.pop("tenant")
+    for d in serve_dicts:
+        d.pop("tenant")
+    assert serve_dicts == plain_dicts
+    assert env_serve.records.events == env_plain.records.events
+    assert env_serve.now == env_plain.now
+
+
+def test_single_mix_report_covers_every_job():
+    env, records = _run("speed", tenants="single")
+    (report,) = env.tenant_reports()
+    assert report.tenant == "default"
+    assert report.submitted == JOBS
+    assert report.completed == len(records)
+    assert report.rejected == 0
+    assert report.preemptions == 0
+    assert report.attainment == 1.0  # an unbounded SLO is always met
+
+
+def test_plain_run_has_no_tenant_reports():
+    env, _ = _run("speed", tenants=None)
+    with pytest.raises(RuntimeError):
+        env.tenant_reports()

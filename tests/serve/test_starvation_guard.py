@@ -1,0 +1,129 @@
+"""The starvation guard: outage kills + preemptions share one retry budget.
+
+PR 3's outage machinery requeues killed jobs; the serve layer adds
+preemption requeues on top.  Both count against the configurable
+``SimulationConfig.max_requeues`` so a job bounced between outages and
+higher-priority classes terminally fails (with a ``failed`` record event)
+instead of looping forever.
+"""
+
+import pytest
+
+from repro.circuits.circuit import CircuitSpec
+from repro.cloud.config import SimulationConfig
+from repro.cloud.environment import QCloudSimEnv
+from repro.cloud.qjob import QJob, QJobStatus
+from repro.dynamics import MaintenanceWindow, Scenario
+from repro.hardware.backends import get_device_profile
+from repro.serve import SLOSpec, TenantMix, TenantSpec
+
+def fleet():
+    # A single-device fleet: the batch job has exactly one sub-job, so a
+    # killing window aborts (and requeues) it immediately instead of waiting
+    # for surviving sibling sub-jobs to drain.
+    return [get_device_profile("ibm_brussels")]
+
+
+def make_job(job_id, tenant, q, arrival, shots):
+    circuit = CircuitSpec(
+        num_qubits=q, depth=8, num_shots=shots,
+        num_two_qubit_gates=12, num_single_qubit_gates=30, name=f"job_{job_id}",
+    )
+    return QJob(job_id=job_id, circuit=circuit, arrival_time=arrival, tenant=tenant)
+
+
+def preemption_mix():
+    return TenantMix(
+        name="starve",
+        tenants=(
+            TenantSpec(name="premium", priority_class=0, slo=SLOSpec(queue_deadline=30.0)),
+            TenantSpec(name="batch", priority_class=2),
+        ),
+    )
+
+
+def outage_scenario():
+    # A deterministic killing window: aborts the running batch job at t=50,
+    # device back online at t=150.
+    return Scenario(
+        name="maint-kill",
+        maintenance=(
+            MaintenanceWindow(start=50.0, duration=100.0, device="ibm_brussels",
+                              kill_running=True),
+        ),
+    )
+
+
+class TestPreemptionOutageInteraction:
+    def run(self, max_requeues):
+        # Timeline: batch starts at 0, is killed at 50 (requeue #1), restarts
+        # at 150 when the device recovers, and is preempted at 230 (premium
+        # arrival 200 + 30 s queueing deadline → requeue #2).
+        jobs = [
+            # ~529 s of processing: still running when the premium deadline
+            # expires at t=230.
+            make_job(0, "batch", q=127, arrival=0.0, shots=1_000_000),
+            make_job(1, "premium", q=127, arrival=200.0, shots=20_000),
+        ]
+        config = SimulationConfig(num_jobs=2, max_requeues=max_requeues)
+        env = QCloudSimEnv(
+            config=config,
+            devices=fleet(),
+            jobs=jobs,
+            tenants=preemption_mix(),
+            scenario=outage_scenario(),
+        )
+        records = env.run_until_complete()
+        return env, records
+
+    def test_shared_budget_exhausted_fails_job(self):
+        """Outage requeue (1) + preemption requeue (2) > max_requeues=1."""
+        env, records = self.run(max_requeues=1)
+
+        batch = next(j for j in env.job_generator.jobs if j.job_id == 0)
+        assert batch.status is QJobStatus.FAILED
+        assert batch in env.broker.failed_jobs
+        assert env.records.record_for(0) is None
+
+        events = env.records.events_for(0)
+        kinds = [e.event for e in events]
+        # Killed by the maintenance window, restarted, preempted, then failed.
+        assert kinds.count("requeue") == 1
+        assert kinds.count("preempted") == 1
+        assert kinds[-1] == "failed"
+        (failed,) = [e for e in events if e.event == "failed"]
+        assert "requeue limit (1)" in failed.detail
+        assert failed.time == pytest.approx(230.0)  # premium arrival + deadline
+
+        # The premium job is unaffected by the batch job's demise.
+        premium = env.records.record_for(1)
+        assert premium is not None
+        assert premium.wait_time == pytest.approx(30.0)
+
+        # Accounting surfaces the failure on the right tenant.
+        reports = {r.tenant: r for r in env.tenant_reports()}
+        assert reports["batch"].failed == 1
+        assert reports["batch"].preemptions == 1
+        assert reports["batch"].attainment == 0.0
+        assert reports["premium"].attainment == 1.0
+
+    def test_sufficient_budget_lets_job_finish(self):
+        """With budget for both bounces, the batch job eventually completes."""
+        env, records = self.run(max_requeues=2)
+        batch = env.records.record_for(0)
+        assert batch is not None
+        assert batch.retries == 2  # one outage kill + one preemption
+        assert batch.tenant == "batch"
+        premium = env.records.record_for(1)
+        assert batch.start_time >= premium.finish_time
+        assert len(env.broker.failed_jobs) == 0
+
+
+class TestConfigKnob:
+    def test_max_requeues_reaches_plain_broker(self):
+        env = QCloudSimEnv(SimulationConfig(num_jobs=1, max_requeues=7))
+        assert env.broker.max_requeues == 7
+
+    def test_invalid_max_requeues_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(max_requeues=-1)

@@ -1,0 +1,158 @@
+"""Multi-tenant workload generation: apportionment, merging, routing."""
+
+import pytest
+
+from repro.cloud.config import SimulationConfig
+from repro.dynamics.scenario import TrafficSpec
+from repro.serve import (
+    TenantMix,
+    TenantSpec,
+    apportion_jobs,
+    get_tenant_mix,
+    route_jobs_to_tenants,
+    tenant_jobs,
+)
+
+
+def two_tenant_mix(share_a=0.3, share_b=0.7):
+    return TenantMix(
+        name="m",
+        tenants=(
+            TenantSpec(
+                name="a",
+                share=share_a,
+                traffic=TrafficSpec(model="poisson", rate=0.05),
+                job_priority=1,
+            ),
+            TenantSpec(name="b", share=share_b, qubit_range=(150, 200)),
+        ),
+    )
+
+
+class TestApportionment:
+    def test_exact_shares(self):
+        assert apportion_jobs(two_tenant_mix(), 10) == [3, 7]
+
+    def test_largest_remainder(self):
+        mix = TenantMix(
+            name="m",
+            tenants=(
+                TenantSpec(name="a", share=1.0),
+                TenantSpec(name="b", share=1.0),
+                TenantSpec(name="c", share=1.0),
+            ),
+        )
+        counts = apportion_jobs(mix, 10)
+        assert sum(counts) == 10
+        assert counts == [4, 3, 3]  # leftover goes to the earliest tenant
+
+    def test_total_is_preserved(self):
+        for n in (1, 7, 99):
+            assert sum(apportion_jobs(two_tenant_mix(), n)) == n
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            apportion_jobs(two_tenant_mix(), 0)
+
+
+class TestTenantJobs:
+    def config(self, n=20, seed=5):
+        return SimulationConfig(num_jobs=n, seed=seed)
+
+    def test_passthrough_returns_none(self):
+        assert tenant_jobs(get_tenant_mix("single"), self.config()) is None
+
+    def test_merged_workload_shape(self):
+        jobs = tenant_jobs(two_tenant_mix(), self.config(n=20))
+        assert jobs is not None
+        assert len(jobs) == 20
+        # Ids are globally unique and renumbered in arrival order.
+        assert sorted(j.job_id for j in jobs) == list(range(20))
+        arrivals = [j.arrival_time for j in jobs]
+        assert arrivals == sorted(arrivals)
+        # Both tenants contributed their share and are tagged.
+        by_tenant = {"a": 0, "b": 0}
+        for job in jobs:
+            by_tenant[job.tenant] += 1
+        assert by_tenant == {"a": 6, "b": 14}
+
+    def test_tenant_overrides_applied(self):
+        jobs = tenant_jobs(two_tenant_mix(), self.config(n=20))
+        for job in jobs:
+            if job.tenant == "b":
+                assert 150 <= job.num_qubits <= 200
+            else:
+                assert job.priority == 1  # job_priority stamped
+
+    def test_deterministic_in_seed(self):
+        a = tenant_jobs(two_tenant_mix(), self.config(seed=5))
+        b = tenant_jobs(two_tenant_mix(), self.config(seed=5))
+        c = tenant_jobs(two_tenant_mix(), self.config(seed=6))
+        assert [j.as_dict() for j in a] == [j.as_dict() for j in b]
+        assert [j.as_dict() for j in a] != [j.as_dict() for j in c]
+
+
+class TestRouting:
+    def test_routes_all_jobs_deterministically(self):
+        from repro.cloud.job_generator import generate_synthetic_jobs
+
+        jobs = generate_synthetic_jobs(num_jobs=50, seed=9)
+        routed = route_jobs_to_tenants(jobs, two_tenant_mix(), seed=9)
+        assert all(j.tenant in ("a", "b") for j in routed)
+        counts = {"a": 0, "b": 0}
+        for job in routed:
+            counts[job.tenant] += 1
+        assert counts["a"] > 0 and counts["b"] > 0
+        assert counts["b"] > counts["a"]  # 0.7 share dominates
+
+        jobs2 = generate_synthetic_jobs(num_jobs=50, seed=9)
+        routed2 = route_jobs_to_tenants(jobs2, two_tenant_mix(), seed=9)
+        assert [j.tenant for j in routed] == [j.tenant for j in routed2]
+
+    def test_tenant_tags_survive_csv_roundtrip(self, tmp_path):
+        from repro.cloud.io import jobs_from_csv, jobs_to_csv
+        from repro.cloud.job_generator import generate_synthetic_jobs
+
+        routed = route_jobs_to_tenants(
+            generate_synthetic_jobs(num_jobs=10, seed=3), two_tenant_mix(), seed=3
+        )
+        path = str(tmp_path / "jobs.csv")
+        jobs_to_csv(routed, path)
+        loaded = jobs_from_csv(path)
+        assert [j.tenant for j in loaded] == [j.tenant for j in routed]
+        assert [j.as_dict() for j in loaded] == [j.as_dict() for j in routed]
+
+    def test_routing_preserves_explicit_priorities(self):
+        from repro.cloud.job_generator import generate_synthetic_jobs
+
+        jobs = generate_synthetic_jobs(num_jobs=10, seed=3)
+        jobs[0].priority = -7
+        routed = route_jobs_to_tenants(jobs, two_tenant_mix(), seed=3)
+        assert routed[0].priority == -7  # explicit priority kept
+        # Default-priority jobs routed to tenant "a" inherit job_priority=1.
+        for job in routed[1:]:
+            assert job.priority == (1 if job.tenant == "a" else 0)
+
+    def test_single_tenant_routing_tags_everything(self):
+        from repro.cloud.job_generator import generate_synthetic_jobs
+
+        mix = TenantMix(name="m", tenants=(TenantSpec(name="only", job_priority=2),))
+        jobs = route_jobs_to_tenants(generate_synthetic_jobs(5, seed=1), mix, seed=1)
+        assert all(j.tenant == "only" and j.priority == 2 for j in jobs)
+
+    def test_scenario_traffic_reaches_tenants_end_to_end(self):
+        """A traffic scenario shapes arrivals; the mix owns the jobs."""
+        from repro.cloud.environment import QCloudSimEnv
+
+        config = SimulationConfig(
+            num_jobs=12, seed=4, scenario="rush-hour", tenants="free-tier-vs-premium"
+        )
+        env = QCloudSimEnv(config)
+        records = env.run_until_complete()
+        tenants = {r.tenant for r in records}
+        assert tenants <= {"premium", "free"}
+        assert len(tenants) == 2
+        # Arrivals follow the scenario's diurnal model, not the tenants' own
+        # traffic specs: both tenants share one arrival stream.
+        arrivals = sorted(r.arrival_time for r in records)
+        assert arrivals[0] > 0.0  # diurnal thinning never emits t=0 arrivals
