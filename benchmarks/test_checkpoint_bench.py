@@ -1,0 +1,141 @@
+"""Checkpointed-preemption benchmark: what does resume-instead-of-redo buy?
+
+Two measurements, recorded in ``BENCH_checkpoint.json`` at the repository
+root (the perf trajectory of the checkpointing subsystem):
+
+* **Turnaround under outages** — the same workload runs with and without
+  checkpointing under two kill-heavy worlds: the stock ``flaky-fleet``
+  preset and a harsher ``chaos-fleet`` (mtbf 1200 s, mttr 300 s, killing
+  outages fleet-wide).  Both are *simulated-time* metrics, so they are
+  deterministic: the full-size run asserts that checkpointing strictly
+  improves mean turnaround and makespan whenever the run produced requeues
+  (resumed jobs only re-execute the shots their aborted attempts did not
+  complete).
+* **No-abort overhead** — a static world with checkpointing on vs off: the
+  code path only differs by a flag check per sub-job, so the wall-clock
+  delta must stay **< 10 %** (asserted in the full-size run; results are
+  byte-identical either way, which the test also spot-checks).
+
+Set ``REPRO_CHECKPOINT_BENCH_TINY=1`` (the CI smoke job does) for a
+seconds-fast run that exercises both paths without asserting the bounds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.cloud.config import SimulationConfig
+from repro.cloud.environment import QCloudSimEnv
+from repro.dynamics import OutageSpec, Scenario
+
+TINY = os.environ.get("REPRO_CHECKPOINT_BENCH_TINY", "0") not in ("0", "", "false", "False")
+
+#: Jobs per run.
+NUM_JOBS = 30 if TINY else 120
+#: Wall-clock repetitions for the no-abort overhead pair (best-of).
+REPEATS = 1 if TINY else 5
+
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_checkpoint.json"
+
+#: Kill-heavy world: every device fails on average every 1200 s of uptime
+#: and takes 300 s to repair, killing in-flight sub-jobs each time.
+CHAOS = Scenario(
+    name="chaos-fleet",
+    description="aggressive killing outages fleet-wide",
+    outages=OutageSpec(mtbf=1200.0, mttr=300.0, kill_running=True),
+)
+
+
+def _run(scenario, checkpointing):
+    config = SimulationConfig(
+        num_jobs=NUM_JOBS, policy="fidelity", checkpointing=checkpointing,
+    )
+    start = time.perf_counter()
+    env = QCloudSimEnv(config, scenario=scenario)
+    records = env.run_until_complete()
+    return time.perf_counter() - start, env, records
+
+
+def _turnaround_stats(env, records):
+    retried = [r for r in records if r.retries]
+    return {
+        "jobs_completed": len(records),
+        "jobs_failed": len(env.broker.failed_jobs),
+        "requeues": sum(r.retries for r in records),
+        "resumed_shots": sum(r.resumed_shots for r in records),
+        "mean_turnaround_s": sum(r.turnaround_time for r in records) / len(records),
+        "mean_retried_turnaround_s": (
+            sum(r.turnaround_time for r in retried) / len(retried) if retried else None
+        ),
+        "makespan_s": env.now,
+    }
+
+
+def test_checkpoint_benchmark():
+    results = {"scenarios": {}}
+
+    # -- turnaround under kill-heavy worlds (simulated time, deterministic) --
+    for name, scenario in (("flaky-fleet", "flaky-fleet"), ("chaos-fleet", CHAOS)):
+        _, env_off, rec_off = _run(scenario, checkpointing=False)
+        _, env_on, rec_on = _run(scenario, checkpointing=True)
+        off = _turnaround_stats(env_off, rec_off)
+        on = _turnaround_stats(env_on, rec_on)
+        entry = {
+            "without_checkpointing": off,
+            "with_checkpointing": on,
+            "turnaround_improvement": 1.0 - on["mean_turnaround_s"] / off["mean_turnaround_s"],
+            "makespan_improvement": 1.0 - on["makespan_s"] / off["makespan_s"],
+        }
+        results["scenarios"][name] = entry
+        if not TINY and off["requeues"] > 0:
+            # Resumed jobs execute only their remaining shots, so both the
+            # mean turnaround and the schedule end move strictly earlier.
+            assert on["resumed_shots"] > 0
+            assert entry["turnaround_improvement"] > 0, entry
+            assert entry["makespan_improvement"] > 0, entry
+
+    # -- no-abort overhead (wall clock) --------------------------------------
+    _run(None, checkpointing=False)  # warm-up: catalogue, coupling maps
+    best = {False: float("inf"), True: float("inf")}
+    sample = {}
+    for _ in range(REPEATS):
+        for checkpointing in (False, True):
+            seconds, env, records = _run(None, checkpointing=checkpointing)
+            best[checkpointing] = min(best[checkpointing], seconds)
+            sample[checkpointing] = records
+    overhead = best[True] / best[False] - 1.0
+    results["no_abort_overhead"] = {
+        "seconds_off": best[False],
+        "seconds_on": best[True],
+        "wallclock_vs_off": overhead,
+    }
+    # Byte-identical results when nothing aborts (spot check).
+    assert [r.as_dict() for r in sample[True]] == [r.as_dict() for r in sample[False]]
+
+    payload = {
+        "benchmark": "checkpoint",
+        "tiny": TINY,
+        "config": {"num_jobs": NUM_JOBS, "policy": "fidelity", "repeats": REPEATS},
+        **results,
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"\ncheckpointed preemption ({NUM_JOBS} jobs, policy=fidelity):")
+    for name, entry in results["scenarios"].items():
+        off = entry["without_checkpointing"]
+        on = entry["with_checkpointing"]
+        print(f"{name:<14} requeues={off['requeues']:>3} "
+              f"turnaround {off['mean_turnaround_s']:>9.1f} -> {on['mean_turnaround_s']:>9.1f} s "
+              f"({entry['turnaround_improvement']:+.2%})  "
+              f"makespan {off['makespan_s']:>9.1f} -> {on['makespan_s']:>9.1f} s "
+              f"({entry['makespan_improvement']:+.2%})")
+    print(f"no-abort overhead (static world): {overhead:+.1%}")
+    print(f"wrote {RESULTS_PATH}")
+
+    assert RESULTS_PATH.exists()
+    if not TINY:
+        # Acceptance target: the flag check costs nothing when nothing aborts.
+        assert overhead < 0.10, f"checkpointing overhead {overhead:.1%} exceeds 10%"

@@ -43,6 +43,9 @@ def format_tenant_table(reports: Sequence[object]) -> str:
     def ms(value: Optional[float]) -> str:
         return "-" if value is None else f"{value:,.1f}"
 
+    def pct(value: Optional[float]) -> str:
+        return "-" if value is None else f"{value:.1%}"
+
     lines = [
         f"{'tenant':<14} {'cls':>3} {'sub':>6} {'done':>6} {'rej':>5} {'fail':>5} "
         f"{'pre':>5} {'attain':>7} {'q_p50':>10} {'q_p95':>10} {'q_p99':>10} "
@@ -52,7 +55,7 @@ def format_tenant_table(reports: Sequence[object]) -> str:
     for r in reports:
         lines.append(
             f"{r.tenant:<14} {r.priority_class:>3} {r.submitted:>6} {r.completed:>6} "
-            f"{r.rejected:>5} {r.failed:>5} {r.preemptions:>5} {r.attainment:>6.1%} "
+            f"{r.rejected:>5} {r.failed:>5} {r.preemptions:>5} {pct(r.attainment):>7} "
             f"{ms(r.queue_p50):>10} {ms(r.queue_p95):>10} {ms(r.queue_p99):>10} "
             f"{ms(r.completion_p50):>10} {ms(r.completion_p95):>10} {ms(r.completion_p99):>10}"
         )

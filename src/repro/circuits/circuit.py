@@ -86,6 +86,18 @@ class CircuitSpec:
             name=name if name is not None else f"{self.name}[{num_qubits}q]",
         )
 
+    def with_shots(self, num_shots: int) -> "CircuitSpec":
+        """The same circuit with a different shot count.
+
+        Used by checkpointed resume: a requeued job re-executes only the
+        shots its aborted attempts did not complete, so the broker rebuilds
+        the circuit with the remaining shot budget (width, depth and gate
+        counts unchanged).
+        """
+        if num_shots <= 0:
+            raise ValueError("num_shots must be positive")
+        return replace(self, num_shots=num_shots)
+
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict view (JSON/CSV-safe)."""
         return {

@@ -9,6 +9,8 @@ Exposes the framework's main workflows without writing Python::
     python -m repro simulate --policy fidelity --jobs jobs.csv --records out.csv
     python -m repro simulate --scenario flaky-fleet -n 100 --trace run.jsonl
     python -m repro simulate --scenario run.jsonl -n 100   # deterministic replay
+    python -m repro simulate --scenario flaky-fleet --checkpointing -n 100
+    python -m repro sweep --param checkpointing --values false true
     python -m repro serve --list                 # list multi-tenant mix presets
     python -m repro serve --tenants free-tier-vs-premium -n 200
     python -m repro serve --tenants noisy-neighbor --scenario rush-hour -n 200
@@ -128,6 +130,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         scenario=args.scenario,
         tenants=args.tenants,
         max_requeues=args.max_requeues,
+        checkpointing=args.checkpointing,
     )
     env = QCloudSimEnv(config=config, policy=_load_policy(args))
     records = env.run_until_complete()
@@ -147,11 +150,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(format_tenant_table(reports))
 
     if args.records:
-        if records:
-            records_to_csv(records, args.records)
-            print(f"\nwrote per-job records to {args.records}")
-        else:
-            print(f"\nno completed jobs; skipping records export to {args.records}")
+        # A zero-completion run (e.g. heavy admission shedding) writes a
+        # header-only CSV so downstream tooling always finds the schema.
+        records_to_csv(records, args.records)
+        print(f"\nwrote per-job records to {args.records}")
     if args.report:
         with open(args.report, "w") as fh:
             json.dump([r.as_dict() for r in reports], fh, indent=2)
@@ -211,6 +213,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         seed=args.seed,
         scenario=args.scenario,
         tenants=args.tenants,
+        checkpointing=args.checkpointing,
     )
     jobs = None
     if args.jobs:
@@ -238,12 +241,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
     print(f"policy        : {summary.strategy}")
     print(f"jobs completed: {summary.num_jobs}")
-    print(f"T_sim (s)     : {summary.total_simulation_time:,.2f}")
-    print(f"fidelity      : {summary.mean_fidelity:.5f} ± {summary.std_fidelity:.5f}")
-    print(f"T_comm (s)    : {summary.total_communication_time:,.2f}")
-    print(f"devices/job   : {summary.mean_devices_per_job:.2f}")
+    if records:
+        print(f"T_sim (s)     : {summary.total_simulation_time:,.2f}")
+        print(f"fidelity      : {summary.mean_fidelity:.5f} ± {summary.std_fidelity:.5f}")
+        print(f"T_comm (s)    : {summary.total_communication_time:,.2f}")
+        print(f"devices/job   : {summary.mean_devices_per_job:.2f}")
 
     if args.records:
+        # A zero-completion run still writes a header-only CSV.
         records_to_csv(records, args.records)
         print(f"wrote per-job records to {args.records}")
     return 0 if len(records) else 1
@@ -307,7 +312,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     ftype = field_types[args.param]
     if "Tuple" in ftype or "List" in ftype:
         raise SystemExit(f"cannot sweep compound field {args.param!r} ({ftype}) from the CLI")
-    cast = int if "int" in ftype else float if "float" in ftype else str
+
+    def parse_bool(text: str) -> bool:
+        lowered = text.lower()
+        if lowered in ("true", "1", "yes", "on"):
+            return True
+        if lowered in ("false", "0", "no", "off"):
+            return False
+        raise ValueError(text)
+
+    parse_bool.__name__ = "bool"  # readable --values error message
+    if "bool" in ftype:
+        cast = parse_bool
+    else:
+        cast = int if "int" in ftype else float if "float" in ftype else str
     try:
         values = [cast(v) for v in args.values]
     except ValueError:
@@ -415,6 +433,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="multi-tenant mix preset (see 'repro serve --list'); swaps in "
                             "the serve broker")
     p_sim.add_argument("--trace", help="record the run's scenario trace to this JSONL file")
+    p_sim.add_argument("--checkpointing", action="store_true",
+                       help="checkpointed preemption: aborted jobs (outages, preemptions) "
+                            "resume with only their remaining shots")
     _add_engine_options(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
 
@@ -436,6 +457,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-requeues", type=int, default=100,
                          help="starvation guard: fail a job after this many outage/preemption "
                               "requeues")
+    p_serve.add_argument("--checkpointing", action="store_true",
+                         help="checkpointed preemption: preempted/killed jobs resume with "
+                              "only their remaining shots")
     p_serve.add_argument("--model", help="trained policy .npz (required for rlbase)")
     p_serve.add_argument("--records", help="write per-job records to this CSV file")
     p_serve.add_argument("--report", help="write the per-tenant SLO report to this JSON file")

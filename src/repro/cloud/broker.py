@@ -22,11 +22,21 @@ broker only plans over *online* devices, and when a device outage kills a
 job's in-flight sub-jobs (they come back ``aborted``) the broker releases
 every reservation, signals the freed capacity and requeues the job from the
 planning step, up to ``max_requeues`` attempts.
+
+Checkpointed preemption (``checkpointing=True``) makes those requeues cheap:
+an aborted attempt records how many shots every sub-job completed (the
+job-level checkpoint is the *minimum* across fragments — shots are only
+usable once every fragment has executed them in lock-step), and the requeued
+job re-plans and executes **only the remaining shots**.  The final fidelity
+becomes the shot-weighted merge of the per-segment Eq.-8 values, each
+segment evaluated on its own device allocation (a resumed attempt may land
+on entirely different devices).  With checkpointing off — the default —
+every path is byte-identical to full re-execution.
 """
 
 from __future__ import annotations
 
-from typing import Any, Generator, List, Optional
+from typing import Any, Generator, List, Optional, Tuple
 
 from repro.cloud.qcloud import QCloud
 from repro.cloud.qdevice import IBMQuantumDevice, SubJobResult
@@ -34,9 +44,32 @@ from repro.cloud.qjob import QJob, QJobStatus
 from repro.cloud.records import JobRecord, JobRecordsManager
 from repro.des.environment import Environment
 from repro.des.events import Process
-from repro.metrics.fidelity import final_fidelity
+from repro.metrics.fidelity import FidelityBreakdown, final_fidelity, merge_segment_fidelities
 
 __all__ = ["Broker", "CustomBroker"]
+
+
+class _JobRun:
+    """Cross-attempt state of one job's plan/reserve/execute cycles.
+
+    Tracks what today's stateless attempts lose on abort: when the job first
+    started executing, how much time its attempts have consumed, and — under
+    checkpointing — the shots (with their fidelity breakdowns) completed by
+    aborted attempts.
+    """
+
+    __slots__ = ("first_start", "service_time", "completed_shots", "segments")
+
+    def __init__(self) -> None:
+        #: Simulation time the first execution attempt started (None = never).
+        self.first_start: Optional[float] = None
+        #: Cumulative time spent in execution attempts (aborted attempts'
+        #: elapsed wall-clock plus the completing attempt, comm included).
+        self.service_time = 0.0
+        #: Shots completed and checkpointed by aborted attempts.
+        self.completed_shots = 0
+        #: One ``(shots, breakdowns)`` pair per checkpointed attempt.
+        self.segments: List[Tuple[int, List[FidelityBreakdown]]] = []
 
 
 class Broker:
@@ -58,6 +91,11 @@ class Broker:
         rounds (prevents infinite waits for jobs that can never fit).
     max_requeues:
         Safety valve: a job fails after this many outage-triggered requeues.
+    checkpointing:
+        Save each aborted attempt's completed shots and resume requeued jobs
+        with only the remainder (shot-weighted fidelity merge across
+        attempts).  Off by default: requeued jobs re-execute from scratch,
+        byte-identical to the historical behaviour.
     """
 
     def __init__(
@@ -68,6 +106,7 @@ class Broker:
         records: JobRecordsManager,
         max_plan_attempts: int = 100_000,
         max_requeues: int = 100,
+        checkpointing: bool = False,
     ) -> None:
         if not hasattr(policy, "plan"):
             raise TypeError("policy must expose a plan(job, devices) method")
@@ -77,6 +116,7 @@ class Broker:
         self.records = records
         self.max_plan_attempts = int(max_plan_attempts)
         self.max_requeues = int(max_requeues)
+        self.checkpointing = bool(checkpointing)
         #: Processes of all submitted jobs (used to wait for completion).
         self.job_processes: List[Process] = []
         #: Jobs that could never be allocated.
@@ -106,11 +146,12 @@ class Broker:
             return None
 
         retries = 0
+        run = _JobRun()
         while True:
             plan = yield from self._plan_and_reserve(job)
             if plan is None:
                 return None  # permanently failed (logged inside)
-            record = yield from self._execute_plan(job, plan, retries)
+            record = yield from self._execute_plan(job, plan, retries, run)
             if record is not None:
                 return record
             # An outage (or a preemption) killed at least one sub-job:
@@ -170,23 +211,42 @@ class Broker:
         return plan
 
     def _execute_plan(
-        self, job: QJob, plan: Any, retries: int
+        self, job: QJob, plan: Any, retries: int, run: _JobRun
     ) -> Generator[object, object, Optional[JobRecord]]:
-        """Execute a reserved plan; ``None`` means an outage aborted it (the
-        reservations have been released and the job should be requeued)."""
+        """Execute a reserved plan; ``None`` means an outage or preemption
+        aborted it (the reservations have been released and the job should be
+        requeued).  *run* carries the job's cross-attempt state: timing
+        attribution always, checkpointed shots when checkpointing is on."""
         start_time = self.env.now
+        if run.first_start is None:
+            run.first_start = start_time
         job.status = QJobStatus.RUNNING
         self.records.log_start(
             job.job_id, start_time, detail=",".join(plan.device_names)
         )
 
+        # Under checkpointing a resumed attempt executes only the shots its
+        # aborted predecessors did not complete.
+        remaining_shots = job.num_shots - run.completed_shots
+        circuit = job.circuit
+        if run.completed_shots > 0:
+            self.records.log_resume(
+                job.job_id,
+                start_time,
+                detail=f"{remaining_shots}/{job.num_shots} shots remaining",
+            )
+            circuit = circuit.with_shots(remaining_shots)
+
         fragments = [
-            job.circuit.subcircuit(alloc.num_qubits, name=f"{job.circuit.name}@{alloc.device.name}")
+            circuit.subcircuit(alloc.num_qubits, name=f"{job.circuit.name}@{alloc.device.name}")
             for alloc in plan.allocations
         ]
         sub_processes = [
             self.env.process(
-                alloc.device.execute(fragment, plan.num_devices, job.num_qubits)
+                alloc.device.execute(
+                    fragment, plan.num_devices, job.num_qubits,
+                    checkpoint=self.checkpointing,
+                )
             )
             for alloc, fragment in zip(plan.allocations, fragments)
         ]
@@ -196,6 +256,21 @@ class Broker:
 
         if any(result.aborted for result in results):
             self._unregister_running(job)
+            run.service_time += self.env.now - start_time
+            if self.checkpointing:
+                # Shots are usable only once *every* fragment has executed
+                # them (lock-step semantics), so checkpoint the minimum.
+                completed = min(result.completed_shots for result in results)
+                if completed > 0:
+                    run.completed_shots += completed
+                    run.segments.append(
+                        (completed, [r.fidelity_breakdown for r in results])
+                    )
+                    self.records.log_checkpoint(
+                        job.job_id,
+                        self.env.now,
+                        detail=f"{run.completed_shots}/{job.num_shots} shots",
+                    )
             for alloc in plan.allocations:
                 alloc.device.release_qubits(alloc.num_qubits)
             self.cloud.signal_capacity_change()
@@ -207,15 +282,26 @@ class Broker:
             job.status = QJobStatus.COMMUNICATING
             yield self.env.timeout(comm_delay)
 
-        # -- final fidelity (Eq. 8) ----------------------------------------------------
-        device_fidelities = [r.fidelity_breakdown.device for r in results]
-        fidelity = final_fidelity(device_fidelities, phi=self.cloud.communication.fidelity_penalty)
+        # -- final fidelity (Eq. 8; shot-weighted across checkpoint segments) -----------
+        phi = self.cloud.communication.fidelity_penalty
+        final_breakdowns = [r.fidelity_breakdown for r in results]
+        if run.segments:
+            segments = run.segments + [(remaining_shots, final_breakdowns)]
+            fidelity = merge_segment_fidelities(
+                [(shots, [b.device for b in bds]) for shots, bds in segments], phi=phi
+            )
+            breakdowns = [b for _, bds in segments for b in bds]
+        else:
+            device_fidelities = [r.fidelity_breakdown.device for r in results]
+            fidelity = final_fidelity(device_fidelities, phi=phi)
+            breakdowns = final_breakdowns
 
         # -- release qubits & log completion --------------------------------------------
         self._unregister_running(job)
         for alloc in plan.allocations:
             alloc.device.release_qubits(alloc.num_qubits)
         finish_time = self.env.now
+        run.service_time += finish_time - start_time
         job.status = QJobStatus.COMPLETED
         self.records.log_fidelity(job.job_id, finish_time, fidelity)
         self.records.log_finish(job.job_id, finish_time)
@@ -234,9 +320,12 @@ class Broker:
             devices=plan.device_names,
             allocation=plan.qubit_counts,
             processing_time=max(r.processing_time for r in results),
-            breakdowns=[r.fidelity_breakdown for r in results],
+            breakdowns=breakdowns,
             retries=retries,
             tenant=job.tenant,
+            first_start_time=run.first_start,
+            service_time=run.service_time,
+            resumed_shots=run.completed_shots,
         )
         self.records.add_record(record)
         self._note_completed(job, record)

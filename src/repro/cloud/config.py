@@ -73,6 +73,13 @@ class SimulationConfig:
     #: (outage kills + preemptions combined).
     max_requeues: int = 100
 
+    #: Checkpointed preemption: aborted attempts (outage kills, maintenance
+    #: windows, serve-layer preemptions) save their completed shots and the
+    #: requeued job resumes with only the remainder, shot-weight-merging the
+    #: partial fidelities.  Off by default — requeued jobs then re-execute
+    #: from scratch, byte-identical to historical behaviour.
+    checkpointing: bool = False
+
     def __post_init__(self) -> None:
         if self.num_jobs <= 0:
             raise ValueError("num_jobs must be positive")
@@ -121,4 +128,10 @@ class SimulationConfig:
         """Copy of the configuration with a different tenant mix."""
         payload = asdict(self)
         payload["tenants"] = tenants
+        return SimulationConfig(**payload)
+
+    def with_checkpointing(self, checkpointing: bool = True) -> "SimulationConfig":
+        """Copy of the configuration with checkpointed preemption toggled."""
+        payload = asdict(self)
+        payload["checkpointing"] = checkpointing
         return SimulationConfig(**payload)

@@ -137,6 +137,7 @@ class QCloudSimEnv(Environment):
                 self.records,
                 tenants=self.tenant_mix,
                 max_requeues=self.config.max_requeues,
+                checkpointing=self.config.checkpointing,
             )
         else:
             self.broker = Broker(
@@ -145,6 +146,7 @@ class QCloudSimEnv(Environment):
                 self.policy,
                 self.records,
                 max_requeues=self.config.max_requeues,
+                checkpointing=self.config.checkpointing,
             )
 
         explicit_jobs = jobs is not None

@@ -38,9 +38,13 @@ __all__ = ["SubJobResult", "BaseQDevice", "QuantumDevice", "IBMQuantumDevice"]
 class SubJobResult:
     """Outcome of executing one job fragment on one device.
 
-    ``aborted`` results carry no fidelity breakdown: the device went offline
-    mid-execution (or was already offline at start) and the broker requeues
-    the owning job.
+    ``aborted`` results normally carry no fidelity breakdown: the device went
+    offline mid-execution (or was already offline at start) and the broker
+    requeues the owning job.  Under checkpointed execution an aborted result
+    additionally reports ``completed_shots`` — how many of the fragment's
+    shots finished before the kill — and, when that is positive, the
+    breakdown of those completed shots (the analytic per-device fidelity does
+    not depend on the shot count, only the merge weighting does).
     """
 
     device_name: str
@@ -48,6 +52,9 @@ class SubJobResult:
     processing_time: float
     fidelity_breakdown: Optional[FidelityBreakdown]
     aborted: bool = False
+    #: Shots of the fragment that completed (all of them for a successful
+    #: result; a prefix for a checkpointed abort; 0 without checkpointing).
+    completed_shots: int = 0
 
 
 class BaseQDevice:
@@ -313,7 +320,11 @@ class IBMQuantumDevice(QuantumDevice):
         )
 
     def execute(
-        self, fragment: CircuitSpec, num_devices: int = 1, total_qubits: Optional[int] = None
+        self,
+        fragment: CircuitSpec,
+        num_devices: int = 1,
+        total_qubits: Optional[int] = None,
+        checkpoint: bool = False,
     ) -> Generator[object, object, SubJobResult]:
         """DES process executing one circuit fragment on this device.
 
@@ -322,8 +333,14 @@ class IBMQuantumDevice(QuantumDevice):
         returns a :class:`SubJobResult` with the fidelity breakdown.
 
         If the device is offline when execution starts, or goes offline with
-        ``kill_running`` mid-execution, the result comes back ``aborted`` (no
-        fidelity breakdown) and the broker requeues the owning job.
+        ``kill_running`` mid-execution, the result comes back ``aborted`` and
+        the broker requeues the owning job.  With ``checkpoint`` the aborted
+        result also reports the shots completed before the kill — the
+        elapsed fraction of the CLOPS-model duration, floored, and capped at
+        ``num_shots - 1`` so a resume always has at least one shot left to
+        re-execute (the in-flight shot's results are never persisted) —
+        along with their fidelity breakdown, so the broker can resume the
+        job from where it died instead of re-executing everything.
         """
         if not self.online:
             self.aborted_subjobs += 1
@@ -346,12 +363,22 @@ class IBMQuantumDevice(QuantumDevice):
             self.busy_time += elapsed
             self.qubit_seconds += fragment.num_qubits * elapsed
             self.aborted_subjobs += 1
+            completed = 0
+            breakdown = None
+            if checkpoint and duration > 0:
+                completed = int(fragment.num_shots * (elapsed / duration))
+                completed = max(0, min(completed, fragment.num_shots - 1))
+                if completed > 0:
+                    breakdown = self.compute_fidelity_breakdown(
+                        fragment, num_devices, total_qubits
+                    )
             return SubJobResult(
                 device_name=self.name,
                 qubits_allocated=fragment.num_qubits,
                 processing_time=elapsed,
-                fidelity_breakdown=None,
+                fidelity_breakdown=breakdown,
                 aborted=True,
+                completed_shots=completed,
             )
         finally:
             if process is not None:
@@ -365,4 +392,5 @@ class IBMQuantumDevice(QuantumDevice):
             qubits_allocated=fragment.num_qubits,
             processing_time=duration,
             fidelity_breakdown=breakdown,
+            completed_shots=fragment.num_shots,
         )

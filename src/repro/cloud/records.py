@@ -11,6 +11,10 @@ Multi-tenant serving (:mod:`repro.serve`) adds two event kinds: ``rejected``
 and ``preempted`` (a running job's sub-jobs were aborted to make room for a
 higher-priority class).  Records carry the owning tenant so per-tenant SLO
 accounting can slice the results.
+
+Checkpointed execution adds two more: ``checkpoint`` (an aborted job saved
+the shots its attempt completed) and ``resume`` (a requeued job restarted
+with only its remaining shots).
 """
 
 from __future__ import annotations
@@ -25,13 +29,15 @@ __all__ = ["JobEvent", "JobRecord", "JobRecordsManager", "records_to_csv"]
 
 
 def records_to_csv(records: Sequence["JobRecord"], path: str) -> None:
-    """Write job records to a CSV file (columns from ``JobRecord.as_dict``)."""
+    """Write job records to a CSV file (columns from ``JobRecord.as_dict``).
+
+    An empty record set (e.g. a run where admission control shed every job)
+    writes a header-only CSV instead of raising, so downstream tooling
+    always finds a well-formed file with the full schema.
+    """
     records = list(records)
-    if not records:
-        raise ValueError("no completed records to export")
-    fieldnames = list(records[0].as_dict().keys())
     with open(path, "w", newline="") as fh:
-        writer = csv.DictWriter(fh, fieldnames=fieldnames)
+        writer = csv.DictWriter(fh, fieldnames=list(JobRecord.CSV_FIELDS))
         writer.writeheader()
         for record in records:
             writer.writerow(record.as_dict())
@@ -49,7 +55,37 @@ class JobEvent:
 
 @dataclass
 class JobRecord:
-    """Aggregated outcome of one completed job."""
+    """Aggregated outcome of one completed job.
+
+    ``start_time`` is the start of the attempt that completed; jobs requeued
+    after outages or preemptions additionally carry ``first_start_time``
+    (when their first attempt started) and a cumulative ``service_time`` so
+    queueing and execution time stay separable across attempts.
+    """
+
+    #: Column order of :meth:`as_dict` (the per-job CSV schema).
+    CSV_FIELDS = (
+        "job_id",
+        "num_qubits",
+        "depth",
+        "num_shots",
+        "arrival_time",
+        "start_time",
+        "first_start_time",
+        "finish_time",
+        "wait_time",
+        "service_time",
+        "turnaround_time",
+        "processing_time",
+        "fidelity",
+        "communication_time",
+        "num_devices",
+        "devices",
+        "allocation",
+        "retries",
+        "resumed_shots",
+        "tenant",
+    )
 
     job_id: int
     num_qubits: int
@@ -70,11 +106,43 @@ class JobRecord:
     retries: int = 0
     #: Owning tenant (``None`` outside multi-tenant serving runs).
     tenant: Optional[str] = None
+    #: Start of the job's *first* execution attempt (``None`` means the job
+    #: completed on its first attempt, i.e. it equals ``start_time``).
+    first_start_time: Optional[float] = None
+    #: Cumulative time spent in execution attempts (aborted attempts'
+    #: elapsed time plus the completing attempt, communication included).
+    #: ``None`` means single-attempt legacy accounting (finish - start).
+    service_time: Optional[float] = None
+    #: Shots carried over from checkpoints of aborted attempts (0 when the
+    #: whole job executed in the completing attempt).
+    resumed_shots: int = 0
+
+    @property
+    def effective_first_start(self) -> float:
+        """Start of the first execution attempt (falls back to ``start_time``)."""
+        return self.start_time if self.first_start_time is None else self.first_start_time
+
+    @property
+    def effective_service_time(self) -> float:
+        """Cumulative execution time (falls back to ``finish - start``)."""
+        if self.service_time is None:
+            return self.finish_time - self.start_time
+        return self.service_time
 
     @property
     def wait_time(self) -> float:
-        """Time spent waiting for resources (start - arrival)."""
-        return self.start_time - self.arrival_time
+        """Cumulative time spent *not* executing (queueing, including requeues).
+
+        For a single-attempt job this is exactly ``start - arrival``.  For a
+        requeued job it is ``turnaround - service``: the first-attempt
+        queueing delay plus every inter-attempt requeue wait — neither the
+        aborted attempts' execution time (which the old ``start - arrival``
+        silently included) nor zero post-requeue queueing (which it silently
+        dropped when an earlier ``start`` won).
+        """
+        if self.retries == 0 or self.service_time is None:
+            return self.effective_first_start - self.arrival_time
+        return self.turnaround_time - self.service_time
 
     @property
     def turnaround_time(self) -> float:
@@ -90,8 +158,10 @@ class JobRecord:
             "num_shots": self.num_shots,
             "arrival_time": self.arrival_time,
             "start_time": self.start_time,
+            "first_start_time": self.effective_first_start,
             "finish_time": self.finish_time,
             "wait_time": self.wait_time,
+            "service_time": self.effective_service_time,
             "turnaround_time": self.turnaround_time,
             "processing_time": self.processing_time,
             "fidelity": self.fidelity,
@@ -100,6 +170,7 @@ class JobRecord:
             "devices": "|".join(self.devices),
             "allocation": "|".join(str(a) for a in self.allocation),
             "retries": self.retries,
+            "resumed_shots": self.resumed_shots,
             "tenant": self.tenant or "",
         }
 
@@ -117,6 +188,8 @@ class JobRecordsManager:
         "requeue",
         "rejected",
         "preempted",
+        "checkpoint",
+        "resume",
     )
 
     def __init__(self) -> None:
@@ -161,6 +234,14 @@ class JobRecordsManager:
     def log_preemption(self, job_id: int, time: float, detail: Optional[str] = None) -> None:
         """Record a running job preempted in favour of a higher priority class."""
         self.log_event(job_id, "preempted", time, detail)
+
+    def log_checkpoint(self, job_id: int, time: float, detail: Optional[str] = None) -> None:
+        """Record an aborted job checkpointing the shots it completed."""
+        self.log_event(job_id, "checkpoint", time, detail)
+
+    def log_resume(self, job_id: int, time: float, detail: Optional[str] = None) -> None:
+        """Record a checkpointed job resuming with only its remaining shots."""
+        self.log_event(job_id, "resume", time, detail)
 
     def add_record(self, record: JobRecord) -> None:
         """Store the aggregated record of a completed job."""

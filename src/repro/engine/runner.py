@@ -28,7 +28,7 @@ from repro.cloud.qjob import QJob
 from repro.cloud.records import JobRecord
 from repro.engine.spec import ExperimentCell, ExperimentSpec
 from repro.engine.store import ResultStore
-from repro.metrics.aggregate import StrategySummary, summarize_records
+from repro.metrics.aggregate import StrategySummary, empty_summary, summarize_records
 
 __all__ = ["CellResult", "ExperimentResult", "ExperimentRunner", "execute_cell"]
 
@@ -112,7 +112,9 @@ def execute_cell(cell: ExperimentCell) -> CellResult:
     env = QCloudSimEnv(config=config, jobs=jobs, policy=policy)
     records = env.run_until_complete()
     name = getattr(env.policy, "name", config.policy)
-    summary = summarize_records(records, strategy=name)
+    # A cell can legitimately complete zero jobs (admission shedding,
+    # infeasible workloads) — summarize as an empty row instead of raising.
+    summary = summarize_records(records, strategy=name) if records else empty_summary(name)
     return CellResult(cell=cell, summary=summary, records=records)
 
 

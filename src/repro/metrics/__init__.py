@@ -11,13 +11,19 @@
   of Table 2 and the histogram series of Fig. 6.
 """
 
-from repro.metrics.aggregate import StrategySummary, fidelity_histogram, summarize_records
+from repro.metrics.aggregate import (
+    StrategySummary,
+    empty_summary,
+    fidelity_histogram,
+    summarize_records,
+)
 from repro.metrics.error_score import ErrorScoreWeights, error_score, error_score_from_averages
 from repro.metrics.fidelity import (
     FidelityBreakdown,
     communication_penalty,
     device_fidelity,
     final_fidelity,
+    merge_segment_fidelities,
     readout_fidelity,
     single_qubit_fidelity,
     two_qubit_fidelity,
@@ -35,11 +41,13 @@ __all__ = [
     "communication_penalty",
     "communication_time",
     "device_fidelity",
+    "empty_summary",
     "error_score",
     "error_score_from_averages",
     "execution_time",
     "fidelity_histogram",
     "final_fidelity",
+    "merge_segment_fidelities",
     "processing_time_minutes",
     "readout_fidelity",
     "single_qubit_fidelity",

@@ -18,7 +18,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["StrategySummary", "summarize_records", "fidelity_histogram"]
+__all__ = ["StrategySummary", "summarize_records", "empty_summary", "fidelity_histogram"]
 
 
 def _get(record: Any, name: str) -> Any:
@@ -26,6 +26,20 @@ def _get(record: Any, name: str) -> Any:
     if isinstance(record, dict):
         return record[name]
     return getattr(record, name)
+
+
+def _get_wait(record: Any) -> float:
+    """Per-job waiting time: the record's ``wait_time`` when it has one.
+
+    Retried jobs' ``wait_time`` is cumulative time *not* executing, which
+    differs from the naive ``start - arrival`` (that silently includes
+    aborted attempts' execution time); minimal records without the field
+    fall back to the legacy expression.
+    """
+    try:
+        return float(_get(record, "wait_time"))
+    except (AttributeError, KeyError):
+        return float(_get(record, "start_time")) - float(_get(record, "arrival_time"))
 
 
 @dataclass(frozen=True)
@@ -48,7 +62,7 @@ class StrategySummary:
     mean_devices_per_job: float
     #: Mean per-job turnaround (finish - arrival) in seconds.
     mean_turnaround_time: float
-    #: Mean per-job waiting time (start - arrival) in seconds.
+    #: Mean per-job waiting time (cumulative time not executing) in seconds.
     mean_wait_time: float
 
     def as_row(self) -> Dict[str, float]:
@@ -87,7 +101,6 @@ def summarize_records(records: Sequence[Any], strategy: str = "") -> StrategySum
 
     fidelities = np.array([float(_get(r, "fidelity")) for r in records])
     arrivals = np.array([float(_get(r, "arrival_time")) for r in records])
-    starts = np.array([float(_get(r, "start_time")) for r in records])
     finishes = np.array([float(_get(r, "finish_time")) for r in records])
     comms = np.array([float(_get(r, "communication_time")) for r in records])
     devices = np.array([float(_get(r, "num_devices")) for r in records])
@@ -101,7 +114,30 @@ def summarize_records(records: Sequence[Any], strategy: str = "") -> StrategySum
         total_communication_time=float(comms.sum()),
         mean_devices_per_job=float(devices.mean()),
         mean_turnaround_time=float((finishes - arrivals).mean()),
-        mean_wait_time=float((starts - arrivals).mean()),
+        mean_wait_time=float(np.mean([_get_wait(r) for r in records])),
+    )
+
+
+def empty_summary(strategy: str = "") -> StrategySummary:
+    """The summary of a run that completed zero jobs.
+
+    Totals are zero and per-job means are NaN (there are no jobs to average
+    over).  Lets zero-completion cells — e.g. every job shed by admission
+    control or failed as infeasible — flow through the experiment engine and
+    CLI instead of raising (:func:`summarize_records` still rejects an empty
+    list, since callers passing one usually have a bug).
+    """
+    nan = float("nan")
+    return StrategySummary(
+        strategy=strategy,
+        num_jobs=0,
+        total_simulation_time=0.0,
+        mean_fidelity=nan,
+        std_fidelity=nan,
+        total_communication_time=0.0,
+        mean_devices_per_job=nan,
+        mean_turnaround_time=nan,
+        mean_wait_time=nan,
     )
 
 

@@ -38,6 +38,7 @@ __all__ = [
     "device_fidelity",
     "communication_penalty",
     "final_fidelity",
+    "merge_segment_fidelities",
 ]
 
 #: Empirical per-link fidelity degradation factor φ (paper §6.4).
@@ -184,6 +185,41 @@ def final_fidelity(
         _check_probability("device fidelity", f)
     mean_fid = sum(fidelities) / len(fidelities)
     return mean_fid * communication_penalty(len(fidelities), phi)
+
+
+def merge_segment_fidelities(
+    segments: Sequence[tuple],
+    phi: float = DEFAULT_COMMUNICATION_PENALTY,
+) -> float:
+    """Shot-weighted final fidelity across execution segments (checkpointing).
+
+    A checkpointed job completes its shots in *segments*: each aborted
+    attempt contributes the shots it finished before the kill, the final
+    attempt contributes the remainder.  Every segment may have run on a
+    different device allocation, so each gets its own Eq.-8 evaluation
+    (mean device fidelity times that segment's communication penalty); the
+    job-level fidelity is the shot-weighted average of the segment values.
+
+    Parameters
+    ----------
+    segments:
+        ``(shots, device_fidelities)`` pairs, one per segment, where
+        ``device_fidelities`` is the per-device fidelity list of that
+        segment's allocation.  All shot counts must be positive.
+    phi:
+        Per-link communication penalty factor.
+    """
+    segments = list(segments)
+    if not segments:
+        raise ValueError("at least one segment is required")
+    total_shots = 0
+    weighted = 0.0
+    for shots, device_fidelities in segments:
+        if shots <= 0:
+            raise ValueError("segment shot counts must be positive")
+        total_shots += shots
+        weighted += shots * final_fidelity(device_fidelities, phi)
+    return weighted / total_shots
 
 
 @dataclass(frozen=True)

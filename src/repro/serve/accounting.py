@@ -7,14 +7,18 @@ watches.
 
 Definitions
 -----------
-* **queueing latency** — ``start - arrival`` of a completed job (time in the
-  dispatch queue, including requeues after outages/preemptions),
+* **queueing latency** — a completed job's :attr:`JobRecord.wait_time`:
+  cumulative time *not* executing.  For a single-attempt job that is exactly
+  ``start - arrival``; for a job requeued after outages/preemptions it also
+  counts every inter-attempt wait (but not the aborted attempts' execution
+  time),
 * **completion latency** — ``finish - arrival`` (turnaround),
 * **SLO-violating job** — a *completed* job that breaks any of its tenant's
   targets (queue deadline, completion deadline, fidelity floor),
 * **attainment** — the fraction of *submitted* jobs that completed within
   every target.  Rejected and failed jobs count against attainment: shedding
-  a job is an SLO miss from the customer's point of view,
+  a job is an SLO miss from the customer's point of view.  A tenant that
+  submitted nothing has no attainment (``None``, rendered as ``-``),
 * **p50/p95/p99** — linear-interpolation percentiles over completed jobs.
 
 All quantities are deterministic functions of the run's records and events,
@@ -55,8 +59,11 @@ class TenantSLOReport:
     #: Completed jobs that broke at least one SLO target.
     violated: int
 
-    #: Fraction of submitted jobs completed within every SLO target (0..1).
-    attainment: float
+    #: Fraction of submitted jobs completed within every SLO target (0..1),
+    #: or ``None`` for a tenant that submitted nothing — an idle tenant has
+    #: no attainment, and must not read as perfectly served in tables or
+    #: sweep aggregates.
+    attainment: Optional[float]
 
     #: Queueing-latency percentiles over completed jobs (``None`` if none).
     queue_p50: Optional[float] = None
@@ -122,7 +129,7 @@ def _report_for(
     completed = len(records)
     violated = sum(0 if slo_satisfied(r, tenant.slo) else 1 for r in records)
     attained = completed - violated
-    attainment = attained / submitted if submitted else 1.0
+    attainment = attained / submitted if submitted else None
 
     queue = _percentiles([r.wait_time for r in records])
     completion = _percentiles([r.turnaround_time for r in records])

@@ -153,6 +153,10 @@ class ServeBroker(Broker):
     max_plan_attempts, max_requeues:
         Safety valves inherited from the plain broker; preemptions count
         against ``max_requeues`` exactly like outage kills.
+    checkpointing:
+        Checkpointed preemption (inherited): preemption and outage victims
+        save their completed shots and resume with only the remainder — a
+        preempted job no longer pays for its lost attempt twice.
     """
 
     def __init__(
@@ -164,6 +168,7 @@ class ServeBroker(Broker):
         tenants: Union[TenantMix, str],
         max_plan_attempts: int = 100_000,
         max_requeues: int = 100,
+        checkpointing: bool = False,
     ) -> None:
         super().__init__(
             env,
@@ -172,6 +177,7 @@ class ServeBroker(Broker):
             records,
             max_plan_attempts=max_plan_attempts,
             max_requeues=max_requeues,
+            checkpointing=checkpointing,
         )
         from repro.serve.presets import resolve_tenant_mix
 

@@ -58,3 +58,27 @@ class TestMarkdown:
     def test_empty_raises(self):
         with pytest.raises(ValueError):
             format_markdown_table([])
+
+
+class TestTenantTable:
+    def _report(self, tenant, submitted, attainment):
+        from repro.serve.accounting import TenantSLOReport
+
+        return TenantSLOReport(
+            tenant=tenant, priority_class=0, weight=1.0,
+            submitted=submitted, completed=submitted, rejected=0, failed=0,
+            preemptions=0, violated=0, attainment=attainment,
+        )
+
+    def test_idle_tenant_renders_dash_not_full_attainment(self):
+        from repro.analysis.reporting import format_tenant_table
+
+        table = format_tenant_table([
+            self._report("busy", submitted=4, attainment=0.75),
+            self._report("idle", submitted=0, attainment=None),
+        ])
+        busy_row = next(l for l in table.splitlines() if l.startswith("busy"))
+        idle_row = next(l for l in table.splitlines() if l.startswith("idle"))
+        assert "75.0%" in busy_row
+        assert "%" not in idle_row
+        assert " - " in idle_row

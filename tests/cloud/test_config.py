@@ -63,6 +63,15 @@ class TestDerivedConfigs:
         assert cfg.tenants is None
         assert served.with_tenants(None).tenants is None
 
+    def test_with_checkpointing_copies(self):
+        cfg = SimulationConfig(num_jobs=10)
+        assert cfg.checkpointing is False  # off by default
+        resumable = cfg.with_checkpointing()
+        assert resumable.checkpointing is True
+        assert resumable.num_jobs == 10
+        assert cfg.checkpointing is False
+        assert resumable.with_checkpointing(False).checkpointing is False
+
     def test_as_dict_roundtrip(self):
         cfg = SimulationConfig(num_jobs=5, seed=9)
         rebuilt = SimulationConfig(**cfg.as_dict())

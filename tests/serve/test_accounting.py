@@ -99,7 +99,7 @@ class TestComputeTenantReports:
             assert r.completed == 0
             assert r.queue_p50 is None
             assert r.mean_fidelity is None
-            assert r.attainment == 1.0  # nothing submitted, nothing missed
+            assert r.attainment is None  # idle tenant: no attainment to report
 
     def test_as_dict_is_json_safe(self):
         import json

@@ -1,0 +1,177 @@
+"""Checkpointing × serve-layer preemption (and its interaction with outages).
+
+The deterministic timeline mirrors ``test_starvation_guard``: a batch job is
+killed by a maintenance window, resumes, is preempted mid-resume by a
+premium tenant's queueing deadline, and resumes again — under checkpointing
+each bounce saves completed shots, so the job only ever pays for the shots
+it still owes.
+"""
+
+import pytest
+
+from repro.circuits.circuit import CircuitSpec
+from repro.cloud.config import SimulationConfig
+from repro.cloud.environment import QCloudSimEnv
+from repro.cloud.qjob import QJob
+from repro.dynamics import MaintenanceWindow, Scenario
+from repro.hardware.backends import get_device_profile
+from repro.serve import SLOSpec, TenantMix, TenantSpec
+
+BATCH_SHOTS = 1_000_000
+KILL_AT = 50.0
+BACK_AT = 150.0
+PREEMPT_AT = 230.0  # premium arrival (200) + queueing deadline (30)
+
+
+def fleet():
+    return [get_device_profile("ibm_brussels")]
+
+
+def make_job(job_id, tenant, q, arrival, shots):
+    circuit = CircuitSpec(
+        num_qubits=q, depth=8, num_shots=shots,
+        num_two_qubit_gates=12, num_single_qubit_gates=30, name=f"job_{job_id}",
+    )
+    return QJob(job_id=job_id, circuit=circuit, arrival_time=arrival, tenant=tenant)
+
+
+def preemption_mix():
+    return TenantMix(
+        name="starve",
+        tenants=(
+            TenantSpec(name="premium", priority_class=0, slo=SLOSpec(queue_deadline=30.0)),
+            TenantSpec(name="batch", priority_class=2),
+        ),
+    )
+
+
+def outage_scenario():
+    return Scenario(
+        name="maint-kill",
+        maintenance=(
+            MaintenanceWindow(start=KILL_AT, duration=100.0, device="ibm_brussels",
+                              kill_running=True),
+        ),
+    )
+
+
+def run(checkpointing, max_requeues=2):
+    jobs = [
+        make_job(0, "batch", q=127, arrival=0.0, shots=BATCH_SHOTS),
+        make_job(1, "premium", q=127, arrival=200.0, shots=20_000),
+    ]
+    config = SimulationConfig(
+        num_jobs=2, max_requeues=max_requeues, checkpointing=checkpointing,
+    )
+    env = QCloudSimEnv(
+        config=config,
+        devices=fleet(),
+        jobs=jobs,
+        tenants=preemption_mix(),
+        scenario=outage_scenario(),
+    )
+    records = env.run_until_complete()
+    return env, records
+
+
+class TestPreemptionMidResume:
+    def test_outage_then_preemption_both_checkpoint(self):
+        env, records = run(checkpointing=True)
+        batch = env.records.record_for(0)
+        premium = env.records.record_for(1)
+        assert batch is not None and premium is not None
+        assert batch.retries == 2  # one maintenance kill + one preemption
+
+        events = env.records.events_for(0)
+        checkpoints = [e for e in events if e.event == "checkpoint"]
+        resumes = [e for e in events if e.event == "resume"]
+        assert [e.time for e in checkpoints] == [
+            pytest.approx(KILL_AT), pytest.approx(PREEMPT_AT)
+        ]
+        assert len(resumes) == 2
+        assert resumes[0].time == pytest.approx(BACK_AT)
+        # The second resume waits for the premium job to clear the device.
+        assert resumes[1].time == pytest.approx(premium.finish_time)
+
+        # Cumulative checkpoints: the mid-resume preemption adds the shots
+        # completed between 150 and 230 on top of the first checkpoint.
+        counts = [int(e.detail.split("/")[0]) for e in checkpoints]
+        assert 0 < counts[0] < counts[1] < BATCH_SHOTS
+        assert batch.resumed_shots == counts[1]
+        assert len(batch.breakdowns) == 3  # one segment per attempt
+
+        # Timing attribution: executing 0..50, 150..230 and the final
+        # attempt; waiting only 50..150 and preemption..premium-finish.
+        assert batch.first_start_time == pytest.approx(0.0)
+        expected_wait = (BACK_AT - KILL_AT) + (premium.finish_time - PREEMPT_AT)
+        assert batch.wait_time == pytest.approx(expected_wait)
+        assert batch.wait_time + batch.service_time == pytest.approx(
+            batch.turnaround_time
+        )
+
+    def test_checkpointing_cuts_preemption_cost(self):
+        env_off, _ = run(checkpointing=False)
+        env_on, _ = run(checkpointing=True)
+        off = env_off.records.record_for(0)
+        on = env_on.records.record_for(0)
+        # The preempted job finishes earlier because each resume only
+        # re-executes the shots its aborted attempts did not complete.
+        assert on.finish_time < off.finish_time
+        assert on.resumed_shots > 0 and off.resumed_shots == 0
+        # The premium (preempting) tenant is indifferent either way.
+        assert env_on.records.record_for(1).finish_time == pytest.approx(
+            env_off.records.record_for(1).finish_time
+        )
+
+    def test_preemption_counts_in_tenant_reports(self):
+        env, _ = run(checkpointing=True)
+        reports = {r.tenant: r for r in env.tenant_reports()}
+        assert reports["batch"].preemptions == 1
+        assert reports["batch"].completed == 1
+        assert reports["premium"].attainment == 1.0
+
+
+class TestExhaustionWithPartialProgress:
+    def test_budget_exhausted_fails_despite_checkpoints(self):
+        env, _ = run(checkpointing=True, max_requeues=1)
+        assert env.records.record_for(0) is None
+        assert len(env.broker.failed_jobs) == 1
+        events = env.records.events_for(0)
+        kinds = [e.event for e in events]
+        assert kinds.count("checkpoint") >= 1  # progress was being saved
+        assert kinds[-1] == "failed"
+        (failed,) = [e for e in events if e.event == "failed"]
+        assert failed.time == pytest.approx(PREEMPT_AT)
+        reports = {r.tenant: r for r in env.tenant_reports()}
+        assert reports["batch"].failed == 1
+
+
+class TestSingleMixCheckpointEquivalence:
+    @pytest.mark.parametrize("policy", ["speed", "fidelity"])
+    def test_serve_single_matches_plain_broker_with_checkpointing(self, policy):
+        """PR 4's byte-identity harness, extended to the checkpointed path:
+        under flaky-fleet with checkpointing on, the serve broker's single
+        mix still reproduces the plain broker exactly."""
+
+        def _run(tenants):
+            config = SimulationConfig(
+                num_jobs=40, seed=2025, policy=policy, scenario="flaky-fleet",
+                tenants=tenants, checkpointing=True,
+            )
+            env = QCloudSimEnv(config)
+            records = env.run_until_complete()
+            return env, records
+
+        env_plain, plain = _run(None)
+        env_serve, serve = _run("single")
+        assert sum(r.retries for r in plain) > 0, "scenario produced no requeues"
+
+        plain_dicts = [r.as_dict() for r in plain]
+        serve_dicts = [r.as_dict() for r in serve]
+        for d in plain_dicts:
+            d.pop("tenant")
+        for d in serve_dicts:
+            d.pop("tenant")
+        assert serve_dicts == plain_dicts
+        assert env_serve.records.events == env_plain.records.events
+        assert env_serve.now == env_plain.now

@@ -67,6 +67,25 @@ class TestSimulate:
         assert main(["simulate", "--policy", "fair", "--jobs", jobs_path]) == 0
         assert "jobs completed: 4" in capsys.readouterr().out
 
+    def test_zero_completion_run_writes_header_only_records(self, tmp_path, capsys):
+        """Every job infeasible: no crash, exit 1, header-only records CSV."""
+        from repro.circuits.circuit import CircuitSpec
+        from repro.cloud.io import jobs_to_csv
+        from repro.cloud.qjob import QJob
+
+        jobs = [QJob(job_id=0, circuit=CircuitSpec(
+            num_qubits=5000, depth=5, num_shots=1000, num_two_qubit_gates=10))]
+        workload = tmp_path / "huge.csv"
+        jobs_to_csv(jobs, str(workload))
+        records = tmp_path / "records.csv"
+
+        code = main(["simulate", "--jobs", str(workload), "--records", str(records)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "jobs completed: 0" in out
+        lines = records.read_text().strip().splitlines()
+        assert len(lines) == 1 and lines[0].startswith("job_id,")
+
     def test_rlbase_requires_model(self):
         with pytest.raises(SystemExit):
             main(["simulate", "--policy", "rlbase", "-n", "2"])

@@ -67,3 +67,29 @@ class TestSweepScenario:
                      "--values", "static", "drift", "-n", "6"]) == 0
         out = capsys.readouterr().out
         assert "static" in out and "drift" in out
+
+
+class TestCheckpointingFlag:
+    def test_simulate_with_checkpointing(self, capsys):
+        assert main(["simulate", "-n", "8", "--scenario", "flaky-fleet",
+                     "--checkpointing"]) == 0
+        out = capsys.readouterr().out
+        assert "jobs completed: 8" in out
+
+    def test_serve_with_checkpointing(self, capsys):
+        assert main(["serve", "-n", "8", "--tenants", "single",
+                     "--checkpointing"]) == 0
+        out = capsys.readouterr().out
+        assert "jobs completed: 8" in out
+
+    def test_sweep_over_checkpointing_axis(self, capsys):
+        """``checkpointing`` is sweepable as a boolean grid axis."""
+        assert main(["sweep", "--param", "checkpointing",
+                     "--values", "false", "true", "-n", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "False" in out and "True" in out
+
+    def test_sweep_rejects_non_boolean_values(self):
+        with pytest.raises(SystemExit, match="must be bool"):
+            main(["sweep", "--param", "checkpointing",
+                  "--values", "maybe", "-n", "6"])
