@@ -35,8 +35,12 @@ TINY = os.environ.get("REPRO_CHECKPOINT_BENCH_TINY", "0") not in ("0", "", "fals
 
 #: Jobs per run.
 NUM_JOBS = 30 if TINY else 120
+#: Jobs for the no-abort overhead pair: larger than the turnaround runs so
+#: each timed run is long enough that scheduler jitter cannot swamp the
+#: per-sub-job flag check being measured.
+OVERHEAD_NUM_JOBS = 30 if TINY else 400
 #: Wall-clock repetitions for the no-abort overhead pair (best-of).
-REPEATS = 1 if TINY else 5
+REPEATS = 1 if TINY else 7
 
 RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_checkpoint.json"
 
@@ -49,9 +53,9 @@ CHAOS = Scenario(
 )
 
 
-def _run(scenario, checkpointing):
+def _run(scenario, checkpointing, num_jobs=NUM_JOBS):
     config = SimulationConfig(
-        num_jobs=NUM_JOBS, policy="fidelity", checkpointing=checkpointing,
+        num_jobs=num_jobs, policy="fidelity", checkpointing=checkpointing,
     )
     start = time.perf_counter()
     env = QCloudSimEnv(config, scenario=scenario)
@@ -98,12 +102,14 @@ def test_checkpoint_benchmark():
             assert entry["makespan_improvement"] > 0, entry
 
     # -- no-abort overhead (wall clock) --------------------------------------
-    _run(None, checkpointing=False)  # warm-up: catalogue, coupling maps
+    _run(None, checkpointing=False, num_jobs=OVERHEAD_NUM_JOBS)  # warm-up
     best = {False: float("inf"), True: float("inf")}
     sample = {}
     for _ in range(REPEATS):
         for checkpointing in (False, True):
-            seconds, env, records = _run(None, checkpointing=checkpointing)
+            seconds, env, records = _run(
+                None, checkpointing=checkpointing, num_jobs=OVERHEAD_NUM_JOBS
+            )
             best[checkpointing] = min(best[checkpointing], seconds)
             sample[checkpointing] = records
     overhead = best[True] / best[False] - 1.0
@@ -114,11 +120,21 @@ def test_checkpoint_benchmark():
     }
     # Byte-identical results when nothing aborts (spot check).
     assert [r.as_dict() for r in sample[True]] == [r.as_dict() for r in sample[False]]
+    if not TINY:
+        # Acceptance target: the flag check costs nothing when nothing aborts.
+        # Asserted BEFORE the artifact is written so a failing (or noisy) run
+        # can never overwrite the checked-in BENCH_checkpoint.json.
+        assert overhead < 0.10, f"checkpointing overhead {overhead:.1%} exceeds 10%"
 
     payload = {
         "benchmark": "checkpoint",
         "tiny": TINY,
-        "config": {"num_jobs": NUM_JOBS, "policy": "fidelity", "repeats": REPEATS},
+        "config": {
+            "num_jobs": NUM_JOBS,
+            "overhead_num_jobs": OVERHEAD_NUM_JOBS,
+            "policy": "fidelity",
+            "repeats": REPEATS,
+        },
         **results,
     }
     RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
@@ -136,6 +152,3 @@ def test_checkpoint_benchmark():
     print(f"wrote {RESULTS_PATH}")
 
     assert RESULTS_PATH.exists()
-    if not TINY:
-        # Acceptance target: the flag check costs nothing when nothing aborts.
-        assert overhead < 0.10, f"checkpointing overhead {overhead:.1%} exceeds 10%"

@@ -226,9 +226,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                   file=sys.stderr)
         from repro.cloud.environment import QCloudSimEnv
 
+        from repro.metrics import empty_summary
+
         env = QCloudSimEnv(config=config, jobs=jobs, policy=_load_policy(args))
         records = env.run_until_complete()
-        summary = env.summary()
+        # Zero-completion runs (e.g. every job infeasible or requeue-exhausted)
+        # still report and write their trace instead of raising.
+        name = getattr(env.policy, "name", config.policy)
+        summary = env.summary() if records else empty_summary(name)
         env.save_trace(args.trace)
         print(f"wrote scenario trace to {args.trace}")
         if env.scenario_engine is not None and env.scenario_engine.applied_events:

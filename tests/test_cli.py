@@ -86,6 +86,23 @@ class TestSimulate:
         lines = records.read_text().strip().splitlines()
         assert len(lines) == 1 and lines[0].startswith("job_id,")
 
+    def test_zero_completion_run_with_trace(self, tmp_path, capsys):
+        """--trace on a zero-completion run: no crash, exit 1, trace written."""
+        from repro.circuits.circuit import CircuitSpec
+        from repro.cloud.io import jobs_to_csv
+        from repro.cloud.qjob import QJob
+
+        jobs = [QJob(job_id=0, circuit=CircuitSpec(
+            num_qubits=5000, depth=5, num_shots=1000, num_two_qubit_gates=10))]
+        workload = tmp_path / "huge.csv"
+        jobs_to_csv(jobs, str(workload))
+        trace = tmp_path / "trace.jsonl"
+
+        code = main(["simulate", "--jobs", str(workload), "--trace", str(trace)])
+        assert code == 1
+        assert "jobs completed: 0" in capsys.readouterr().out
+        assert trace.exists()
+
     def test_rlbase_requires_model(self):
         with pytest.raises(SystemExit):
             main(["simulate", "--policy", "rlbase", "-n", "2"])
