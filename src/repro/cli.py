@@ -214,31 +214,50 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         scenario=args.scenario,
         tenants=args.tenants,
         checkpointing=args.checkpointing,
+        fast_path=args.fast_path,
     )
     jobs = None
     if args.jobs:
         jobs = jobs_from_json(args.jobs) if args.jobs.endswith(".json") else jobs_from_csv(args.jobs)
 
-    if args.trace:
-        # Trace recording needs the live environment, so bypass the runner.
+    if args.trace or args.stats:
+        # Trace recording and loop statistics need the live environment, so
+        # bypass the runner.
         if args.backend != "serial" or args.workers or args.results_dir:
-            print("note: --trace runs in-process; ignoring --backend/--workers/--results-dir",
+            flag = "--trace" if args.trace else "--stats"
+            print(f"note: {flag} runs in-process; ignoring --backend/--workers/--results-dir",
                   file=sys.stderr)
+        import time as _time
+
         from repro.cloud.environment import QCloudSimEnv
 
         from repro.metrics import empty_summary
 
         env = QCloudSimEnv(config=config, jobs=jobs, policy=_load_policy(args))
+        wall_start = _time.perf_counter()
         records = env.run_until_complete()
+        wall = _time.perf_counter() - wall_start
         # Zero-completion runs (e.g. every job infeasible or requeue-exhausted)
         # still report and write their trace instead of raising.
         name = getattr(env.policy, "name", config.policy)
         summary = env.summary() if records else empty_summary(name)
-        env.save_trace(args.trace)
-        print(f"wrote scenario trace to {args.trace}")
+        if args.trace:
+            env.save_trace(args.trace)
+            print(f"wrote scenario trace to {args.trace}")
         if env.scenario_engine is not None and env.scenario_engine.applied_events:
             counts = env.scenario_engine.event_counts()
             print("world events  : " + ", ".join(f"{k}={v}" for k, v in sorted(counts.items())))
+        if args.stats:
+            from repro.des.monitoring import EventLoopStats
+
+            stats = EventLoopStats.from_env(env, wall_seconds=wall)
+            print(f"engine        : {'flat fast path' if env.fast_path_active else 'legacy processes'}")
+            print(f"events        : {stats.events_processed:,} in {stats.batches_processed:,} batches "
+                  f"(mean {stats.mean_batch_size:.2f}, max {stats.max_batch_size})")
+            print(f"peak queue    : {stats.peak_queue_size:,}")
+            if stats.events_per_second is not None:
+                print(f"throughput    : {stats.events_per_second:,.0f} events/s "
+                      f"({wall:.2f}s wall)")
     else:
         summary, records = run_policy_simulation(
             config, policy=_load_policy(args), jobs=jobs, runner=_make_runner(args)
@@ -441,6 +460,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--checkpointing", action="store_true",
                        help="checkpointed preemption: aborted jobs (outages, preemptions) "
                             "resume with only their remaining shots")
+    p_sim.add_argument("--fast-path", action="store_true",
+                       help="flat-event dispatcher for bulk runs (byte-identical results; "
+                            "falls back to the legacy engine when ineligible)")
+    p_sim.add_argument("--stats", action="store_true",
+                       help="print event-loop statistics (events, batches, events/s); "
+                            "runs in-process")
     _add_engine_options(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
 

@@ -80,6 +80,14 @@ class SimulationConfig:
     #: from scratch, byte-identical to historical behaviour.
     checkpointing: bool = False
 
+    #: Flat-event fast path (:mod:`repro.cloud.fastpath`): replace the
+    #: per-job broker processes with the flat pending-table dispatcher when
+    #: the configuration is eligible (plain broker, no tenant mix, no world
+    #: dynamics).  Results are byte-identical to the legacy engine; the
+    #: request silently falls back to the legacy path when ineligible.  Off
+    #: by default.
+    fast_path: bool = False
+
     def __post_init__(self) -> None:
         if self.num_jobs <= 0:
             raise ValueError("num_jobs must be positive")
@@ -134,4 +142,10 @@ class SimulationConfig:
         """Copy of the configuration with checkpointed preemption toggled."""
         payload = asdict(self)
         payload["checkpointing"] = checkpointing
+        return SimulationConfig(**payload)
+
+    def with_fast_path(self, fast_path: bool = True) -> "SimulationConfig":
+        """Copy of the configuration with the flat-event fast path toggled."""
+        payload = asdict(self)
+        payload["fast_path"] = fast_path
         return SimulationConfig(**payload)

@@ -67,6 +67,22 @@ class QCloudSimEnv(Environment):
         dispatch, preemption) and shapes the workload from the tenants'
         traffic specs; the ``single`` preset stays byte-identical to a plain
         run.
+    records:
+        Records manager (overrides the default in-memory
+        :class:`~repro.cloud.records.JobRecordsManager`).  Pass a
+        :class:`~repro.cloud.records_stream.StreamingRecordsManager` for
+        O(1)-memory million-job runs.
+    fast_path:
+        Use the flat-event dispatcher (:mod:`repro.cloud.fastpath`) instead
+        of per-job broker processes when the configuration is eligible
+        (overrides ``config.fast_path``).  Byte-identical results; silently
+        falls back to the legacy engine when ineligible.  Whether it engaged
+        is reported by :attr:`fast_path_active`.
+    job_table:
+        A :class:`~repro.cloud.fastpath.JobTable` as the workload — the
+        streaming bulk form that never materialises per-job objects.
+        Requires an eligible configuration (raises ``ValueError`` otherwise)
+        and implies ``fast_path``.  Mutually exclusive with ``jobs``.
     """
 
     def __init__(
@@ -77,6 +93,9 @@ class QCloudSimEnv(Environment):
         policy: Optional[Any] = None,
         scenario: Optional[Any] = None,
         tenants: Optional[Any] = None,
+        records: Optional[JobRecordsManager] = None,
+        fast_path: Optional[bool] = None,
+        job_table: Optional[Any] = None,
     ) -> None:
         super().__init__()
         self.config = config if config is not None else SimulationConfig()
@@ -126,7 +145,7 @@ class QCloudSimEnv(Environment):
         self.policy = policy
 
         # -- records, broker, job source ----------------------------------------
-        self.records = JobRecordsManager()
+        self.records = records if records is not None else JobRecordsManager()
         if self.tenant_mix is not None:
             from repro.serve import ServeBroker
 
@@ -149,8 +168,11 @@ class QCloudSimEnv(Environment):
                 checkpointing=self.config.checkpointing,
             )
 
+        if job_table is not None and jobs is not None:
+            raise ValueError("pass either jobs or job_table, not both")
+
         explicit_jobs = jobs is not None
-        if jobs is None:
+        if jobs is None and job_table is None:
             if self.scenario is not None:
                 from repro.dynamics import scenario_jobs
 
@@ -193,7 +215,30 @@ class QCloudSimEnv(Environment):
             jobs = route_jobs_to_tenants(
                 [job.clone() for job in jobs], self.tenant_mix, self.config.seed
             )
-        self.job_generator = JobGenerator(self, self.broker, jobs, records=self.records)
+
+        # -- dispatch engine -----------------------------------------------------
+        want_fast = fast_path if fast_path is not None else self.config.fast_path
+        if job_table is not None:
+            want_fast = True
+        #: Whether the flat-event dispatcher is driving this run.
+        self.fast_path_active = False
+        if want_fast:
+            from repro.cloud.fastpath import FlatDispatcher, JobTable, flat_path_eligible
+
+            eligible = flat_path_eligible(self.broker, self.tenant_mix, self.scenario)
+            if job_table is not None and not eligible:
+                raise ValueError(
+                    "job_table requires a fast-path-eligible configuration "
+                    "(plain broker, no tenant mix, no world dynamics)"
+                )
+            if eligible:
+                table = job_table if job_table is not None else JobTable.from_jobs(jobs)
+                self.job_generator = FlatDispatcher(
+                    self, self.broker, table, records=self.records
+                )
+                self.fast_path_active = True
+        if not self.fast_path_active:
+            self.job_generator = JobGenerator(self, self.broker, jobs, records=self.records)
 
         #: The world-dynamics runtime (``None`` for plain static runs).
         self.scenario_engine = None

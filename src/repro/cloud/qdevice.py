@@ -15,10 +15,12 @@ Three levels of modelling detail:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Generator, Optional
 
 import networkx as nx
+import numpy as np
 
 from repro.circuits.circuit import CircuitSpec
 from repro.des.environment import Environment
@@ -26,12 +28,17 @@ from repro.des.exceptions import Interrupt
 from repro.des.resources.container import Container
 from repro.hardware.backends import DeviceProfile
 from repro.hardware.calibration import CalibrationData
+from repro.hardware.clops import DEFAULT_NUM_TEMPLATES, DEFAULT_NUM_UPDATES, log2_quantum_volume
 from repro.hardware.coupling import largest_connected_subgraph
 from repro.metrics.error_score import error_score_from_averages
 from repro.metrics.fidelity import FidelityBreakdown, readout_fidelity, single_qubit_fidelity, two_qubit_fidelity
 from repro.metrics.timing import processing_time_minutes
 
 __all__ = ["SubJobResult", "BaseQDevice", "QuantumDevice", "IBMQuantumDevice"]
+
+#: CLOPS benchmark constant ``M * K``, hoisted for the fast-path kernels
+#: (kept symbolic so the product can never drift from the scalar model).
+_CLOPS_MK = DEFAULT_NUM_TEMPLATES * DEFAULT_NUM_UPDATES
 
 
 @dataclass(frozen=True)
@@ -100,7 +107,10 @@ class BaseQDevice:
     @property
     def free_qubits(self) -> int:
         """Qubits currently available (``device.container.level``)."""
-        return int(self.container.level)
+        # Reads the container's level attribute directly: policies poll this
+        # once per device per planning attempt, so the extra property hop
+        # shows up at million-job scale.
+        return int(self.container._level)
 
     @property
     def used_qubits(self) -> int:
@@ -127,6 +137,37 @@ class BaseQDevice:
         if amount <= 0:
             raise ValueError("amount must be positive")
         return self.container.put(amount)
+
+    def reserve_qubits_now(self, amount: int) -> None:
+        """Immediately reserve *amount* qubits (flat-dispatcher fast path).
+
+        Equivalent to a granted :meth:`request_qubits` without creating the
+        event: ``Container.get`` mutates the level synchronously whenever
+        capacity suffices, which the flat dispatcher guarantees up front via
+        ``plan.is_feasible_now()``.  Must not be mixed with queued event-based
+        requests on the same container.
+        """
+        container = self.container
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        if amount > container._level:
+            raise RuntimeError(
+                f"cannot reserve {amount} qubits on {self.name} "
+                f"({container._level} free)"
+            )
+        container._level -= amount
+
+    def release_qubits_now(self, amount: int) -> None:
+        """Immediately release *amount* qubits (flat-dispatcher fast path)."""
+        container = self.container
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        if container._level + amount > container.capacity:
+            raise RuntimeError(
+                f"releasing {amount} qubits on {self.name} would exceed "
+                f"capacity ({container._level}/{container.capacity})"
+            )
+        container._level += amount
 
     # -- availability ------------------------------------------------------------
     @property
@@ -211,6 +252,12 @@ class IBMQuantumDevice(QuantumDevice):
         self._calibration = profile.calibration
         #: Snapshot the average aggregates were computed from (identity check).
         self._aggregates_for: Optional[object] = None
+        #: Fast-path caches: ``log2(QV)`` keyed on the QV value, fidelity
+        #: bases ``(1 - eps)`` keyed on the calibration snapshot.
+        self._l2qv_for: Optional[float] = None
+        self._l2qv = 0.0
+        self._fid_bases_for: Optional[object] = None
+        self._fid_bases = (0.0, 0.0, 0.0)
         self._refresh_aggregates()
 
     @classmethod
@@ -318,6 +365,115 @@ class IBMQuantumDevice(QuantumDevice):
             two_qubit=two_qubit_fidelity(self.avg_two_qubit_error, fragment.num_two_qubit_gates),
             readout=readout_fidelity(self.avg_readout_error, total_qubits, num_devices),
         )
+
+    # -- fast-path kernels -------------------------------------------------------
+    def _log2_qv(self) -> float:
+        """Cached ``log2(quantum_volume)`` (recomputed if QV is reassigned)."""
+        if self._l2qv_for != self.quantum_volume:
+            self._l2qv = log2_quantum_volume(self.quantum_volume)
+            self._l2qv_for = self.quantum_volume
+        return self._l2qv
+
+    def _fidelity_bases(self) -> tuple:
+        """Cached ``(1 - eps)`` bases of the three fidelity kernels.
+
+        Keyed on the calibration snapshot like the ``avg_*_error`` caches, so
+        calibration drift invalidates them the same way.
+        """
+        if self._fid_bases_for is not self._calibration:
+            if self._aggregates_for is not self._calibration:
+                self._refresh_aggregates()
+            self._fid_bases = (
+                1.0 - self._avg_single_qubit_error,
+                1.0 - self._avg_two_qubit_error,
+                1.0 - self._avg_readout_error,
+            )
+            self._fid_bases_for = self._calibration
+        return self._fid_bases
+
+    def scalar_process_time(self, shots: int) -> float:
+        """:meth:`calculate_process_time` from a raw shot count.
+
+        Lets the flat dispatcher compute durations without materialising a
+        :class:`CircuitSpec` per fragment.  Bit-identical to
+        :func:`~repro.metrics.timing.processing_time_minutes`: the same IEEE
+        operations in the same order, with ``M*K`` and ``log2(QV)`` hoisted
+        out (both exact values, not approximations).
+        """
+        if shots <= 0:
+            raise ValueError("shots must be positive")
+        return (_CLOPS_MK * shots) * self._log2_qv() / self.clops / 60.0
+
+    def scalar_fidelity_breakdown(
+        self,
+        qubits: int,
+        depth: int,
+        two_qubit_gates: int,
+        total_qubits: int,
+        num_devices: int,
+    ) -> FidelityBreakdown:
+        """:meth:`compute_fidelity_breakdown` from raw fragment columns.
+
+        Bit-identical to the kernel functions in
+        :mod:`repro.metrics.fidelity`; range validation is skipped because
+        the inputs come from validated circuits and planned allocations.
+        """
+        single_base, two_base, readout_base = self._fidelity_bases()
+        return FidelityBreakdown(
+            device_name=self.name,
+            qubits_allocated=qubits,
+            single_qubit=single_base ** depth,
+            two_qubit=two_base ** math.sqrt(two_qubit_gates),
+            readout=readout_base ** math.sqrt(total_qubits / num_devices),
+        )
+
+    def batch_process_times(self, shots) -> "np.ndarray":
+        """Vectorised :meth:`calculate_process_time` over an array of shot counts.
+
+        Bit-identical to the scalar path: the same chain of IEEE operations in
+        the same order (``M*K*s`` stays exact in int64, then one float multiply
+        and two divides), so each element equals
+        ``processing_time_minutes(s, ...)`` exactly.
+        """
+        shots = np.asarray(shots, dtype=np.int64)
+        if shots.size and int(shots.min()) <= 0:
+            raise ValueError("shots must be positive")
+        return (_CLOPS_MK * shots) * self._log2_qv() / self.clops / 60.0
+
+    def batch_fidelity_breakdowns(
+        self,
+        qubits,
+        depths,
+        two_qubit_gates,
+        total_qubits,
+        num_devices,
+    ) -> list:
+        """Vectorised :meth:`compute_fidelity_breakdown` over parallel columns.
+
+        NumPy handles the exactly-rounded steps (int conversion, division,
+        ``sqrt``); the final powers run through Python's ``**`` elementwise
+        because NumPy's SIMD ``pow`` is *not* bit-identical to C ``pow``.
+        The result therefore matches the scalar kernels exactly.  Inputs are
+        assumed valid (they come from planned allocations of validated
+        circuits).
+        """
+        single_base, two_base, readout_base = self._fidelity_bases()
+        two_exponents = np.sqrt(np.asarray(two_qubit_gates, dtype=np.float64))
+        readout_exponents = np.sqrt(
+            np.asarray(total_qubits, dtype=np.float64)
+            / np.asarray(num_devices, dtype=np.float64)
+        )
+        name = self.name
+        return [
+            FidelityBreakdown(
+                device_name=name,
+                qubits_allocated=int(q),
+                single_qubit=single_base ** int(d),
+                two_qubit=two_base ** float(t),
+                readout=readout_base ** float(r),
+            )
+            for q, d, t, r in zip(qubits, depths, two_exponents, readout_exponents)
+        ]
 
     def execute(
         self,

@@ -43,7 +43,7 @@ def records_to_csv(records: Sequence["JobRecord"], path: str) -> None:
             writer.writerow(record.as_dict())
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JobEvent:
     """A single logged event in a job's life cycle."""
 
@@ -53,7 +53,7 @@ class JobEvent:
     detail: Optional[str] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class JobRecord:
     """Aggregated outcome of one completed job.
 
@@ -178,6 +178,11 @@ class JobRecord:
 class JobRecordsManager:
     """Tracks job events and completed-job records during a simulation."""
 
+    #: Whether :meth:`log_event` stores the ``detail`` string.  Managers
+    #: that only count events (the streaming manager) set this to ``False``
+    #: so hot paths can skip formatting strings nobody will read.
+    KEEPS_EVENT_DETAIL = True
+
     #: Event names logged by the framework.
     EVENTS = (
         "arrival",
@@ -194,18 +199,40 @@ class JobRecordsManager:
 
     def __init__(self) -> None:
         self._events: List[JobEvent] = []
+        #: Per-job event index so :meth:`events_for` is O(own events).
+        self._events_by_job: Dict[int, List[JobEvent]] = {}
         self._records: Dict[int, JobRecord] = {}
+        #: Completed records in completion order (append-only).
+        self._completed: List[JobRecord] = []
+        #: Job-id-sorted view, rebuilt lazily after new completions.
+        self._sorted_records: Optional[List[JobRecord]] = None
 
     # -- event logging -------------------------------------------------------
     def log_event(self, job_id: int, event: str, time: float, detail: Optional[str] = None) -> None:
         """Append a raw life-cycle event."""
         if event not in self.EVENTS:
             raise ValueError(f"unknown event {event!r}; expected one of {self.EVENTS}")
-        self._events.append(JobEvent(job_id=job_id, event=event, time=time, detail=detail))
+        entry = JobEvent(job_id=job_id, event=event, time=time, detail=detail)
+        self._events.append(entry)
+        bucket = self._events_by_job.get(job_id)
+        if bucket is None:
+            self._events_by_job[job_id] = [entry]
+        else:
+            bucket.append(entry)
 
     def log_arrival(self, job_id: int, time: float) -> None:
         """Record a job arriving at the cloud portal."""
         self.log_event(job_id, "arrival", time)
+
+    def log_arrival_block(self, job_ids: Sequence[int], start: int, stop: int, time: float) -> None:
+        """Record the arrival of rows ``start..stop`` of *job_ids* at *time*.
+
+        Equivalent to calling :meth:`log_arrival` per row; managers that
+        only count events override this with an O(1) bump (the fast-path
+        dispatcher feeds arrivals in same-timestamp blocks).
+        """
+        for row in range(start, stop):
+            self.log_event(int(job_ids[row]), "arrival", time)
 
     def log_start(self, job_id: int, time: float, detail: Optional[str] = None) -> None:
         """Record a job starting execution (qubits reserved)."""
@@ -248,6 +275,8 @@ class JobRecordsManager:
         if record.job_id in self._records:
             raise ValueError(f"duplicate record for job {record.job_id}")
         self._records[record.job_id] = record
+        self._completed.append(record)
+        self._sorted_records = None
 
     # -- queries ---------------------------------------------------------------
     @property
@@ -256,13 +285,20 @@ class JobRecordsManager:
         return list(self._events)
 
     def events_for(self, job_id: int) -> List[JobEvent]:
-        """All events of one job."""
-        return [e for e in self._events if e.job_id == job_id]
+        """All events of one job (O(own events) via the per-job index)."""
+        return list(self._events_by_job.get(job_id, ()))
 
     @property
     def completed_records(self) -> List[JobRecord]:
-        """Records of all completed jobs, ordered by job id."""
-        return [self._records[k] for k in sorted(self._records)]
+        """Records of all completed jobs, ordered by job id.
+
+        The sorted view is cached between completions, so repeated reads
+        (summaries, CSV export, SLO accounting) cost one list copy instead
+        of a fresh O(n log n) sort each.
+        """
+        if self._sorted_records is None:
+            self._sorted_records = sorted(self._completed, key=lambda r: r.job_id)
+        return list(self._sorted_records)
 
     def record_for(self, job_id: int) -> Optional[JobRecord]:
         """Record of one job (or ``None`` if not completed)."""

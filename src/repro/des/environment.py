@@ -46,7 +46,17 @@ class Environment:
         Simulation time to start the clock at (default ``0``).
     """
 
-    __slots__ = ("_now", "_queue", "_eid", "_active_proc", "_trace")
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_eid",
+        "_active_proc",
+        "_trace",
+        "_ev_count",
+        "_batch_count",
+        "_max_batch",
+        "_peak_queue",
+    )
 
     def __init__(self, initial_time: float = 0) -> None:
         self._now: float = initial_time
@@ -54,6 +64,10 @@ class Environment:
         self._eid = count()
         self._active_proc: Optional[Process] = None
         self._trace: Optional[TraceCallback] = None
+        self._ev_count: int = 0
+        self._batch_count: int = 0
+        self._max_batch: int = 0
+        self._peak_queue: int = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Environment now={self._now} queued={len(self._queue)}>"
@@ -73,6 +87,27 @@ class Environment:
     def queue_size(self) -> int:
         """Number of events currently scheduled."""
         return len(self._queue)
+
+    # -- event-loop counters ---------------------------------------------------
+    @property
+    def events_processed(self) -> int:
+        """Events dispatched by the loop since construction (or :meth:`rewind`)."""
+        return self._ev_count
+
+    @property
+    def batches_processed(self) -> int:
+        """Same-``(time, priority)`` batches drained by the loop."""
+        return self._batch_count
+
+    @property
+    def max_batch_size(self) -> int:
+        """Largest number of events dispatched in one batch."""
+        return self._max_batch
+
+    @property
+    def peak_queue_size(self) -> int:
+        """Largest event-queue depth observed before a batch pop."""
+        return self._peak_queue
 
     # -- event factories -----------------------------------------------------
     def event(self) -> Event:
@@ -151,10 +186,17 @@ class Environment:
         the exception is re-raised here and crashes the simulation — mirroring
         SimPy's behaviour so programming errors inside processes surface.
         """
+        qlen = len(self._queue)
+        if qlen > self._peak_queue:
+            self._peak_queue = qlen
         try:
             self._now, priority, _, event = heappop(self._queue)
         except IndexError:
             raise EmptySchedule("No scheduled events left") from None
+        self._ev_count += 1
+        self._batch_count += 1
+        if self._max_batch < 1:
+            self._max_batch = 1
 
         if self._trace is not None:
             self._trace(self._now, priority, event)
@@ -174,34 +216,93 @@ class Environment:
     def _run_fast(self) -> None:
         """Drain the queue with the heap primitives pre-bound to locals.
 
+        Events sharing the head's ``(time, priority)`` are popped as one
+        batch and their callbacks dispatched together: callbacks frequently
+        schedule more work at the current timestamp, and draining the group
+        in one sweep lets dispatchers coalesce their reaction into a single
+        wake-up instead of one per event.  Dispatch order within a batch is
+        the heap order (insertion order for same-time events), so results
+        are identical to repeated :meth:`step` calls.
+
         The trace hook is re-checked every iteration (a slot load and an
         ``is`` test — negligible next to callback dispatch), so installing
         or removing :func:`~repro.des.monitoring.trace_events` mid-run takes
-        effect immediately.  Raises :class:`EmptySchedule` (queue drained) or
-        :class:`StopSimulation` (an ``until`` event fired), exactly like
-        repeated :meth:`step` calls.
+        effect immediately — any undispatched remainder of the current batch
+        is pushed back (with its original sequence numbers) and re-processed
+        through the traced :meth:`step` path.  The same push-back runs when a
+        callback raises (e.g. ``StopSimulation`` from an ``until`` event), so
+        a stopped simulation can be resumed without losing events.  Raises
+        :class:`EmptySchedule` (queue drained) or :class:`StopSimulation`
+        (an ``until`` event fired), exactly like repeated :meth:`step` calls.
         """
         queue = self._queue
         pop = heappop
+        push = heappush
         step = self.step
         while True:
             if self._trace is not None:
                 step()
                 continue
+            if not queue:
+                raise EmptySchedule("No scheduled events left")
+            qlen = len(queue)
+            if qlen > self._peak_queue:
+                self._peak_queue = qlen
+            head = pop(queue)
+            time = head[0]
+            priority = head[1]
+            self._now = time
+            if not queue or queue[0][0] != time or queue[0][1] != priority:
+                # Batch of one — the common case for workloads whose arrival
+                # and completion times are all distinct.  Counters first
+                # (the batch path counts an event before dispatching it),
+                # then dispatch without the batch list or remainder
+                # bookkeeping.
+                self._ev_count += 1
+                self._batch_count += 1
+                if self._max_batch < 1:
+                    self._max_batch = 1
+                event = head[3]
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks or ():
+                    callback(event)
+                if not event._ok and not event._defused:
+                    exc = event._value
+                    if isinstance(exc, BaseException):
+                        raise exc
+                    raise SimulationError(
+                        f"Event {event!r} failed with non-exception {exc!r}"
+                    )
+                continue
+            batch = [head]
+            while queue and queue[0][0] == time and queue[0][1] == priority:
+                batch.append(pop(queue))
+            size = len(batch)
+            index = 0
             try:
-                item = pop(queue)
-            except IndexError:
-                raise EmptySchedule("No scheduled events left") from None
-            self._now = item[0]
-            event = item[3]
-            callbacks, event.callbacks = event.callbacks, None
-            for callback in callbacks or ():
-                callback(event)
-            if not event._ok and not event._defused:
-                exc = event._value
-                if isinstance(exc, BaseException):
-                    raise exc
-                raise SimulationError(f"Event {event!r} failed with non-exception {exc!r}")
+                while index < size:
+                    if self._trace is not None:
+                        break
+                    event = batch[index][3]
+                    index += 1
+                    callbacks, event.callbacks = event.callbacks, None
+                    for callback in callbacks or ():
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        exc = event._value
+                        if isinstance(exc, BaseException):
+                            raise exc
+                        raise SimulationError(
+                            f"Event {event!r} failed with non-exception {exc!r}"
+                        )
+            finally:
+                self._ev_count += index
+                if index:
+                    self._batch_count += 1
+                    if index > self._max_batch:
+                        self._max_batch = index
+                for entry in batch[index:]:
+                    push(queue, entry)
 
     def run(self, until: Union[None, float, Event] = None) -> Any:
         """Run the simulation.
@@ -263,3 +364,7 @@ class Environment:
         self._now = to_time
         self._queue.clear()
         self._active_proc = None
+        self._ev_count = 0
+        self._batch_count = 0
+        self._max_batch = 0
+        self._peak_queue = 0

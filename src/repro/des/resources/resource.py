@@ -123,11 +123,17 @@ class Resource(BaseResource):
         """Number of slots currently in use."""
         return len(self.users)
 
-    def _do_put(self, event: Request) -> None:
+    def _do_put(self, event: Request) -> Optional[bool]:
         if len(self.users) < self.capacity:
             self.users.append(event)
             event.usage_since = self.env.now
             event.succeed()
+            return None
+        # Every slot is taken: no later request can be granted either (all
+        # requests claim one identical slot), so stop pumping the queue.
+        # Keeps each release O(1) instead of O(queue depth) when arrival
+        # storms park thousands of requests — grant order is unchanged.
+        return False
 
     def _do_get(self, event: Release) -> None:
         try:

@@ -59,9 +59,15 @@ def _check_probability_array(name: str, value: np.ndarray) -> None:
         raise ValueError(f"{name} must contain probabilities in [0, 1]")
 
 
+#: Types that can never be (or wrap) a non-scalar array — checked by exact
+#: type so the fidelity kernels skip ``np.ndim`` on the all-scalar hot path
+#: (the broker calls them once per sub-job; ``np.ndim`` dominates otherwise).
+_SCALAR_TYPES = (float, int)
+
+
 def _any_array(*values: ArrayLike) -> bool:
     """True when at least one argument is a (non-scalar) ndarray."""
-    return any(np.ndim(v) > 0 for v in values)
+    return any(type(v) not in _SCALAR_TYPES and np.ndim(v) > 0 for v in values)
 
 
 def single_qubit_fidelity(avg_single_qubit_error: ArrayLike, depth: ArrayLike) -> ArrayLike:

@@ -117,14 +117,29 @@ class AllocationPolicy(abc.ABC):
     # -- helpers shared by concrete policies ---------------------------------
     @staticmethod
     def _greedy_fill(job: Any, ordered_devices: Sequence[Any]) -> Optional[AllocationPlan]:
-        """Fill the ordered devices' free capacity until the job fits."""
-        from repro.circuits.partition import partition_greedy_fill
+        """Fill the ordered devices' free capacity until the job fits.
 
-        free = [d.free_qubits for d in ordered_devices]
-        if sum(free) < job.num_qubits:
+        Equivalent to ``partition_greedy_fill`` over the devices' free
+        capacities followed by :meth:`AllocationPlan.from_pairs`, fused into
+        one pass — this helper sits on the per-job hot path of every
+        list-based policy, so it avoids the intermediate capacity/allocation
+        lists and the redundant re-validation of a freshly built greedy fill.
+        """
+        total = job.num_qubits
+        if total <= 0:
+            raise ValueError("total must be positive")
+        remaining = total
+        allocations = []
+        for device in ordered_devices:
+            if remaining > 0:
+                free = device.free_qubits
+                take = free if free < remaining else remaining
+                if take > 0:
+                    allocations.append(DeviceAllocation(device=device, num_qubits=take))
+                    remaining -= take
+        if remaining > 0:
             return None
-        allocation = partition_greedy_fill(job.num_qubits, free)
-        return AllocationPlan.from_pairs(zip(ordered_devices, allocation))
+        return AllocationPlan(allocations=tuple(allocations))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} name={self.name!r}>"

@@ -446,8 +446,13 @@ class ServeBroker(Broker):
             self.admission_controller.job_left(job.tenant)
 
     # -- reporting ---------------------------------------------------------------------
-    def tenant_reports(self) -> List[Any]:
-        """Per-tenant SLO reports over everything logged so far."""
+    def tenant_reports(self, percentile_method: str = "exact") -> List[Any]:
+        """Per-tenant SLO reports over everything logged so far.
+
+        ``percentile_method="p2"`` swaps the exact ``np.percentile`` tail
+        latencies for constant-memory streaming P² estimates (million-job
+        runs; see :mod:`repro.metrics.quantiles`).
+        """
         from repro.serve.accounting import compute_tenant_reports
 
         return compute_tenant_reports(
@@ -455,6 +460,7 @@ class ServeBroker(Broker):
             self.records.completed_records,
             self.records.events,
             self.tenant_of,
+            percentile_method=percentile_method,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

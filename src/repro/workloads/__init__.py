@@ -18,6 +18,8 @@ scenario subsystem's traffic shaping — see :mod:`repro.dynamics`):
   Markov-modulated Poisson bursts,
 * :func:`~repro.workloads.arrivals.diurnal_arrival_times` — sinusoidal-rate
   nonhomogeneous Poisson arrivals (sampled by thinning),
+* :func:`~repro.workloads.arrivals.bulk_diurnal_arrival_times` — the chunked
+  vectorised form for million-arrival traces,
 * :func:`~repro.workloads.arrivals.heavy_tail_qubit_sizes` — Pareto-tailed
   job sizes,
 * :func:`~repro.workloads.arrivals.generate_traffic_jobs` — a full workload
@@ -25,6 +27,7 @@ scenario subsystem's traffic shaping — see :mod:`repro.dynamics`):
 """
 
 from repro.workloads.arrivals import (
+    bulk_diurnal_arrival_times,
     diurnal_arrival_times,
     generate_traffic_jobs,
     heavy_tail_qubit_sizes,
@@ -38,6 +41,7 @@ from repro.workloads.synthetic import (
 )
 
 __all__ = [
+    "bulk_diurnal_arrival_times",
     "case_study_jobs",
     "diurnal_arrival_times",
     "generate_traffic_jobs",

@@ -28,6 +28,7 @@ from repro.cloud.qjob import QJob
 __all__ = [
     "mmpp_arrival_times",
     "diurnal_arrival_times",
+    "bulk_diurnal_arrival_times",
     "heavy_tail_qubit_sizes",
     "generate_traffic_jobs",
 ]
@@ -115,6 +116,56 @@ def diurnal_arrival_times(
         if rng.random() * max_rate <= current:
             times[produced] = now
             produced += 1
+    return times
+
+
+def bulk_diurnal_arrival_times(
+    rng: np.random.Generator,
+    num_jobs: int,
+    base_rate: float,
+    peak_rate: float,
+    period: float,
+    phase: float = 0.0,
+    start_time: float = 0.0,
+    chunk_size: int = 65_536,
+) -> np.ndarray:
+    """Vectorised :func:`diurnal_arrival_times` for million-job workloads.
+
+    Same nonhomogeneous Poisson process, same thinning construction — but
+    candidate gaps, rates and acceptance draws happen in chunks of
+    *chunk_size* instead of one scalar RNG call per candidate, which is what
+    makes a million-arrival trace generate in milliseconds rather than tens
+    of seconds.
+
+    The chunked draws consume the RNG stream in a different order than the
+    scalar loop, so for a given *rng* state the two functions produce
+    *statistically* equivalent — not byte-identical — traces.  Use the
+    scalar version when reproducing an existing scalar-generated trace.
+    """
+    if num_jobs <= 0:
+        raise ValueError("num_jobs must be positive")
+    if base_rate <= 0 or peak_rate <= 0 or period <= 0:
+        raise ValueError("rates and period must be positive")
+    if peak_rate < base_rate:
+        raise ValueError("peak_rate must be >= base_rate")
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+
+    max_rate = peak_rate
+    swing = peak_rate - base_rate
+    omega = 2.0 * np.pi / period
+    times = np.empty(num_jobs, dtype=np.float64)
+    now = float(start_time)
+    produced = 0
+    while produced < num_jobs:
+        gaps = rng.exponential(1.0 / max_rate, size=chunk_size)
+        candidates = now + np.cumsum(gaps)
+        rates = base_rate + swing * (1.0 - np.cos(omega * candidates + phase)) / 2.0
+        accepted = candidates[rng.random(chunk_size) * max_rate <= rates]
+        take = min(len(accepted), num_jobs - produced)
+        times[produced : produced + take] = accepted[:take]
+        produced += take
+        now = float(candidates[-1])
     return times
 
 

@@ -173,3 +173,33 @@ class TestTrain:
     def test_train_default_n_envs_is_serial(self):
         args = build_parser().parse_args(["train"])
         assert args.n_envs == 1
+
+
+class TestSimulateFastPath:
+    def test_fast_path_matches_legacy_records(self, capsys, tmp_path):
+        outputs = {}
+        for flag, label in (([], "legacy"), (["--fast-path"], "fast")):
+            records_path = str(tmp_path / f"{label}.csv")
+            code = main(
+                ["simulate", "--policy", "speed", "-n", "8", "--seed", "4",
+                 "--records", records_path, *flag]
+            )
+            assert code == 0
+            assert "jobs completed: 8" in capsys.readouterr().out
+            outputs[label] = open(records_path).read()
+        assert outputs["fast"] == outputs["legacy"]
+
+    def test_stats_reports_engine_and_counters(self, capsys):
+        assert main(["simulate", "-n", "5", "--seed", "2", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "engine        : legacy processes" in out
+        assert "events        :" in out
+        assert "batches" in out
+        assert "peak queue    :" in out
+        assert "events/s" in out
+
+    def test_stats_with_fast_path(self, capsys):
+        assert main(["simulate", "-n", "5", "--seed", "2", "--stats", "--fast-path"]) == 0
+        out = capsys.readouterr().out
+        assert "engine        : flat fast path" in out
+        assert "jobs completed: 5" in out
