@@ -25,6 +25,13 @@ from repro.rlenv.train import train_allocation_policy
 
 TINY = os.environ.get("REPRO_RL_BENCH_TINY", "0") not in ("0", "", "false", "False")
 
+#: Contention-tolerant mode: skip wall-clock assertions (correctness
+#: assertions still run and still gate the artifact write).  Implied by TINY;
+#: ``REPRO_BENCH_SKIP_TIMING=1`` sets it repo-wide for loaded CI machines.
+SKIP_TIMING = TINY or os.environ.get(
+    "REPRO_BENCH_SKIP_TIMING", "0"
+) not in ("0", "", "false", "False")
+
 #: Transitions per rollout (PPO's n_steps) for the collection benchmark.
 ROLLOUT_STEPS = 512 if TINY else 2048
 #: Timed rollouts per configuration (best-of is reported).
@@ -94,6 +101,7 @@ def test_rl_train_benchmark():
     payload = {
         "benchmark": "rl_train",
         "tiny": TINY,
+        "skip_timing": SKIP_TIMING,
         "config": {
             "n_steps": ROLLOUT_STEPS,
             "rollout_repeats": ROLLOUT_REPEATS,
@@ -102,7 +110,6 @@ def test_rl_train_benchmark():
         "rollout_collection": rollout_results,
         "training": training_results,
     }
-    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
     print(f"\nrollout collection ({ROLLOUT_STEPS} transitions, best of {ROLLOUT_REPEATS}):")
     for name, result in rollout_results.items():
@@ -113,10 +120,13 @@ def test_rl_train_benchmark():
     print(f"training {TRAIN_TIMESTEPS} timesteps: serial {serial_train:.2f}s, "
           f"n_envs={max(VECTOR_WIDTHS)} {vector_train:.2f}s "
           f"({training_results['speedup_vs_serial']:.2f}x)")
-    print(f"wrote {RESULTS_PATH}")
 
-    assert RESULTS_PATH.exists()
-    if not TINY:
+    # Assertions gate the artifact: BENCH_rl_train.json is only (re)written
+    # once they pass, so a failing run never overwrites a good baseline.
+    if not SKIP_TIMING:
         # The acceptance target is >= 3x at n_envs=16; assert a slightly
         # softer floor so noisy CI runners don't flake the suite.
         assert rollout_results["n_envs=16"]["speedup_vs_serial"] >= 2.5
+
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {RESULTS_PATH}")

@@ -53,6 +53,14 @@ from repro.workloads.arrivals import bulk_diurnal_arrival_times
 
 TINY = os.environ.get("REPRO_SCALE_BENCH_TINY", "0") not in ("0", "", "false", "False")
 
+#: Contention-tolerant mode: skip wall-clock assertions (correctness and
+#: memory assertions still run and still gate the artifact write).  Implied
+#: by TINY; ``REPRO_BENCH_SKIP_TIMING=1`` sets it repo-wide for loaded CI
+#: machines.
+SKIP_TIMING = TINY or os.environ.get(
+    "REPRO_BENCH_SKIP_TIMING", "0"
+) not in ("0", "", "false", "False")
+
 #: Jobs in the measured trace.
 NUM_JOBS = 5_000 if TINY else 1_000_000
 #: Jobs in the legacy-engine baseline run (per-job processes are ~5x
@@ -191,7 +199,7 @@ def test_scale_benchmark():
         f"streaming peak memory grew {mem_ratio:.2f}x for {jobs_ratio:.0f}x the "
         f"jobs ({peaks}) — not sublinear"
     )
-    if not TINY:
+    if not SKIP_TIMING:
         assert throughput >= THROUGHPUT_FLOOR, (
             f"dispatch throughput {throughput:,.0f} jobs/s below the "
             f"{THROUGHPUT_FLOOR:,.0f} floor"
@@ -214,6 +222,7 @@ def test_scale_benchmark():
     payload = {
         "benchmark": "scale",
         "tiny": TINY,
+        "skip_timing": SKIP_TIMING,
         "config": {
             "num_jobs": NUM_JOBS,
             "seed": SEED,

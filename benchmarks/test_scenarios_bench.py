@@ -32,6 +32,13 @@ from repro.dynamics import DriftSpec, Scenario, available_scenarios
 
 TINY = os.environ.get("REPRO_SCENARIO_BENCH_TINY", "0") not in ("0", "", "false", "False")
 
+#: Contention-tolerant mode: skip wall-clock assertions (correctness
+#: assertions still run and still gate the artifact write).  Implied by TINY;
+#: ``REPRO_BENCH_SKIP_TIMING=1`` sets it repo-wide for loaded CI machines.
+SKIP_TIMING = TINY or os.environ.get(
+    "REPRO_BENCH_SKIP_TIMING", "0"
+) not in ("0", "", "false", "False")
+
 #: Jobs per scenario run.
 NUM_JOBS = 30 if TINY else 600
 #: Timed repetitions per scenario (best-of is reported).
@@ -98,11 +105,11 @@ def test_scenario_overhead_benchmark():
     payload = {
         "benchmark": "scenarios",
         "tiny": TINY,
+        "skip_timing": SKIP_TIMING,
         "config": {"num_jobs": NUM_JOBS, "policy": "fidelity", "repeats": REPEATS},
         "hook_overhead_vs_static": hook_overhead,
         "scenarios": results,
     }
-    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
     print(f"\nscenario wall-clock ({NUM_JOBS} jobs, best of {REPEATS}):")
     print(f"{'scenario':<14} {'seconds':>9} {'events':>7} {'requeues':>9} {'vs static':>10}")
@@ -112,13 +119,16 @@ def test_scenario_overhead_benchmark():
         print(f"{name:<14} {result['seconds']:>9.3f} {result['world_events']:>7} "
               f"{result['requeues']:>9} {suffix}")
     print(f"hook overhead (hooks-only vs static): {hook_overhead:+.1%}")
-    print(f"wrote {RESULTS_PATH}")
 
-    assert RESULTS_PATH.exists()
+    # Assertions gate the artifact: BENCH_scenarios.json is only (re)written
+    # once they pass, so a failing run never overwrites a good baseline.
     for name in scenarios:
         assert results[name]["jobs_completed"] == NUM_JOBS, f"{name} lost jobs"
     assert results["hooks-only"]["world_events"] > (10 if TINY else 100)
-    if not TINY:
+    if not SKIP_TIMING:
         # Acceptance target: the drift/outage hook machinery stays under 10 %
         # wall-clock vs the static world at the drift preset's event rate.
         assert hook_overhead < 0.10, f"hook overhead {hook_overhead:.1%} exceeds 10%"
+
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {RESULTS_PATH}")

@@ -32,6 +32,13 @@ from repro.serve import available_tenant_mixes
 
 TINY = os.environ.get("REPRO_SERVE_BENCH_TINY", "0") not in ("0", "", "false", "False")
 
+#: Contention-tolerant mode: skip wall-clock assertions (correctness
+#: assertions still run and still gate the artifact write).  Implied by TINY;
+#: ``REPRO_BENCH_SKIP_TIMING=1`` sets it repo-wide for loaded CI machines.
+SKIP_TIMING = TINY or os.environ.get(
+    "REPRO_BENCH_SKIP_TIMING", "0"
+) not in ("0", "", "false", "False")
+
 #: Jobs per run — arriving as a fast Poisson storm to stress the dispatch queue.
 NUM_JOBS = 60 if TINY else 600
 #: Poisson arrival rate (jobs/second of simulated time): far above the fleet's
@@ -67,11 +74,13 @@ def test_serve_overhead_benchmark():
     # Interleave repetitions round-robin so transient machine load hits every
     # configuration equally instead of biasing one overhead ratio.
     best = {name: float("inf") for name in configurations}
+    rounds = {name: [] for name in configurations}
     last = {}
     for _ in range(REPEATS):
         for name in configurations:
             seconds, env, records = _run_once(name)
             best[name] = min(best[name], seconds)
+            rounds[name].append(seconds)
             last[name] = (env, records)
 
     results = {}
@@ -92,11 +101,20 @@ def test_serve_overhead_benchmark():
     for key, result in results.items():
         if key != "plain-broker":
             result["wallclock_vs_plain"] = result["seconds"] / plain_seconds - 1.0
-    serve_overhead = results["single"]["wallclock_vs_plain"]
+    # Overhead is the min of *per-round paired* ratios, not best/best across
+    # rounds: a sustained load spike slows both sides of a round equally and
+    # cancels in the ratio, where best-of picks times from different rounds
+    # and lets the spike land on only one side.
+    serve_overhead = min(
+        single / plain - 1.0
+        for single, plain in zip(rounds["single"], rounds[None])
+    )
+    results["single"]["paired_overhead_vs_plain"] = serve_overhead
 
     payload = {
         "benchmark": "serve",
         "tiny": TINY,
+        "skip_timing": SKIP_TIMING,
         "config": {
             "num_jobs": NUM_JOBS,
             "policy": "fidelity",
@@ -106,7 +124,6 @@ def test_serve_overhead_benchmark():
         "single_tenant_overhead_vs_plain": serve_overhead,
         "mixes": results,
     }
-    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
     print(f"\nserve dispatch wall-clock ({NUM_JOBS} jobs @ {ARRIVAL_RATE}/s, "
           f"best of {REPEATS}):")
@@ -119,13 +136,16 @@ def test_serve_overhead_benchmark():
               f"{result['jobs_rejected']:>5} {result['preemptions']:>5} "
               f"{result['dispatch_throughput_jobs_per_s']:>9.1f} {suffix}")
     print(f"serve overhead (single vs plain broker): {serve_overhead:+.1%}")
-    print(f"wrote {RESULTS_PATH}")
 
-    assert RESULTS_PATH.exists()
+    # Assertions gate the artifact: BENCH_serve.json is only (re)written once
+    # they pass, so a failing run never overwrites a good baseline.
     # The single mix must not lose or shed jobs (byte-identical path).
     assert results["single"]["jobs_completed"] == NUM_JOBS
     assert results["single"]["jobs_rejected"] == 0
-    if not TINY:
+    if not SKIP_TIMING:
         # Acceptance target: tenant bookkeeping + sorted dispatch stays under
         # 10 % wall-clock vs the plain broker in single-tenant mode.
         assert serve_overhead < 0.10, f"serve overhead {serve_overhead:.1%} exceeds 10%"
+
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {RESULTS_PATH}")

@@ -6,7 +6,12 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.metrics.aggregate import StrategySummary
 
-__all__ = ["format_table2", "format_markdown_table", "format_tenant_table"]
+__all__ = [
+    "format_table2",
+    "format_markdown_table",
+    "format_region_table",
+    "format_tenant_table",
+]
 
 
 def format_table2(summaries: Mapping[str, StrategySummary]) -> str:
@@ -58,6 +63,28 @@ def format_tenant_table(reports: Sequence[object]) -> str:
             f"{r.rejected:>5} {r.failed:>5} {r.preemptions:>5} {pct(r.attainment):>7} "
             f"{ms(r.queue_p50):>10} {ms(r.queue_p95):>10} {ms(r.queue_p99):>10} "
             f"{ms(r.completion_p50):>10} {ms(r.completion_p95):>10} {ms(r.completion_p99):>10}"
+        )
+    return "\n".join(lines)
+
+
+def format_region_table(reports: Mapping[str, Mapping[str, object]]) -> str:
+    """Render per-region reports (see :meth:`RegionalCloud.region_reports`).
+
+    Columns: region, origin/served/completed/failed job counts, migrations
+    in/out, and the router's normalised load.
+    """
+    if not reports:
+        raise ValueError("no region reports to format")
+    lines = [
+        f"{'region':<18} {'origin':>7} {'served':>7} {'done':>6} {'fail':>5} "
+        f"{'mig_in':>7} {'mig_out':>8} {'load':>8}",
+        "-" * 72,
+    ]
+    for name, r in reports.items():
+        lines.append(
+            f"{name:<18} {r['origin_jobs']:>7} {r['served_jobs']:>7} {r['completed']:>6} "
+            f"{r['failed']:>5} {r['migrated_in']:>7} {r['migrated_out']:>8} "
+            f"{r['normalised_load']:>8.3f}"
         )
     return "\n".join(lines)
 

@@ -14,6 +14,12 @@ Exposes the framework's main workflows without writing Python::
     python -m repro serve --list                 # list multi-tenant mix presets
     python -m repro serve --tenants free-tier-vs-premium -n 200
     python -m repro serve --tenants noisy-neighbor --scenario rush-hour -n 200
+    python -m repro serve --tenants free-tier-vs-premium -n 200 --stream
+    python -m repro regions                      # list multi-region topologies
+    python -m repro simulate --regions dual -n 200 --backend process
+    python -m repro compare --regions global-triad --routing least-loaded -n 200
+    python -m repro sweep --param routing --regions dual \
+        --values locality least-loaded calibration-aware round-robin
     python -m repro compare -n 200               # Table-2-style comparison
     python -m repro compare -n 200 --scenario rush-hour
     python -m repro compare -n 200 --backend process --workers 4
@@ -104,6 +110,24 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_regions(args: argparse.Namespace) -> int:
+    from repro.region import available_topologies, get_topology
+
+    print(f"{'topology':<24} {'regions':>7}  description")
+    for name in available_topologies():
+        topology = get_topology(name)
+        print(f"{name:<24} {len(topology.regions):>7}  {topology.description}")
+        if args.verbose:
+            for region in topology.regions:
+                pool = ",".join(region.device_names) if region.device_names else "(inherit)"
+                scenario = region.scenario or "-"
+                print(
+                    f"  - {region.name:<18} share={region.workload_share:<5g} "
+                    f"scenario={scenario:<18} devices={pool}"
+                )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.analysis.reporting import format_tenant_table
     from repro.cloud.config import SimulationConfig
@@ -132,6 +156,49 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_requeues=args.max_requeues,
         checkpointing=args.checkpointing,
     )
+
+    if args.stream:
+        # O(1)-memory serving: records stream into P2 sketches (and
+        # optionally a chunked JSONL file) instead of RAM.
+        from repro.cloud.records_stream import StreamingRecordsManager
+
+        with StreamingRecordsManager(export_path=args.records) as manager:
+            env = QCloudSimEnv(config=config, policy=_load_policy(args), records=manager)
+            env.run_until_complete()
+            print(f"policy        : {getattr(env.policy, 'name', config.policy)}")
+            print(f"tenant mix    : {env.tenant_mix.name}")
+            print(f"jobs completed: {manager.completed}")
+            print(f"jobs rejected : {len(env.broker.rejected_jobs)}")
+            print(f"jobs failed   : {len(env.broker.failed_jobs)}")
+            print(f"preemptions   : {env.broker.preempted_total}")
+            if manager.mean_fidelity is not None:
+                print(f"fidelity      : {manager.mean_fidelity:.5f} (streaming mean)")
+            tenants = sorted({t.name for t in env.tenant_mix.tenants})
+            print()
+            print(f"{'tenant':<14} {'q_p50':>10} {'q_p95':>10} {'q_p99':>10} "
+                  f"{'c_p50':>10} {'c_p95':>10} {'c_p99':>10}")
+            print("-" * 80)
+            for tenant in tenants:
+                p = env.records.latency_percentiles(tenant)
+
+                def ms(value):
+                    return "-" if value is None else f"{value:,.1f}"
+
+                print(f"{tenant:<14} {ms(p['wait_p50']):>10} {ms(p['wait_p95']):>10} "
+                      f"{ms(p['wait_p99']):>10} {ms(p['turnaround_p50']):>10} "
+                      f"{ms(p['turnaround_p95']):>10} {ms(p['turnaround_p99']):>10}")
+            if args.records:
+                print(f"\nstreamed per-job records to {args.records} (JSONL)")
+            if args.report:
+                payload = {
+                    "aggregates": manager.aggregates(),
+                    "tenants": {t: manager.latency_percentiles(t) for t in tenants},
+                }
+                with open(args.report, "w") as fh:
+                    json.dump(payload, fh, indent=2)
+                print(f"wrote streaming aggregate report to {args.report}")
+            return 0 if manager.completed else 1
+
     env = QCloudSimEnv(config=config, policy=_load_policy(args))
     records = env.run_until_complete()
     reports = env.tenant_reports()
@@ -215,10 +282,46 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         tenants=args.tenants,
         checkpointing=args.checkpointing,
         fast_path=args.fast_path,
+        regions=args.regions,
+        routing=args.routing,
     )
     jobs = None
     if args.jobs:
         jobs = jobs_from_json(args.jobs) if args.jobs.endswith(".json") else jobs_from_csv(args.jobs)
+
+    if args.regions:
+        # Multi-region run: shards execute on the requested backend (the
+        # process backend runs regions as real parallel processes).
+        if args.trace or args.stats:
+            raise SystemExit("--trace/--stats are not supported with --regions")
+        from repro.analysis.reporting import format_region_table
+        from repro.engine import ExperimentRunner
+        from repro.region import RegionalCloud
+
+        cloud = RegionalCloud(
+            config=config,
+            jobs=jobs,
+            policy=_load_policy(args),
+            runner=ExperimentRunner(backend=args.backend, max_workers=args.workers),
+        )
+        records = cloud.run_until_complete()
+        summary = cloud.summary()
+        print(f"policy        : {summary.strategy}")
+        print(f"topology      : {cloud.topology.name} ({len(cloud.topology.regions)} regions, "
+              f"{config.routing} routing)")
+        print(f"jobs completed: {summary.num_jobs}")
+        print(f"jobs failed   : {len(cloud.failed)}")
+        print(f"migrations    : {len(cloud.migrations)}")
+        if records:
+            print(f"T_sim (s)     : {summary.total_simulation_time:,.2f}")
+            print(f"fidelity      : {summary.mean_fidelity:.5f} ± {summary.std_fidelity:.5f}")
+            print(f"T_comm (s)    : {summary.total_communication_time:,.2f}")
+        print()
+        print(format_region_table(cloud.region_reports()))
+        if args.records:
+            records_to_csv(records, args.records)
+            print(f"\nwrote per-job records to {args.records}")
+        return 0 if len(records) else 1
 
     if args.trace or args.stats:
         # Trace recording and loop statistics need the live environment, so
@@ -302,7 +405,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             strategies.append("rlbase")
 
     config = SimulationConfig(
-        num_jobs=args.num_jobs, seed=args.seed, scenario=args.scenario, tenants=args.tenants
+        num_jobs=args.num_jobs,
+        seed=args.seed,
+        scenario=args.scenario,
+        tenants=args.tenants,
+        regions=args.regions,
+        routing=args.routing,
     )
     runner = _make_runner(args)
     result = run_case_study(
@@ -331,7 +439,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"unknown config field {args.param!r}; choose one of {sorted(field_names)}"
         )
 
-    config = SimulationConfig(num_jobs=args.num_jobs, seed=args.seed)
+    config = SimulationConfig(
+        num_jobs=args.num_jobs, seed=args.seed, regions=args.regions, routing=args.routing
+    )
     field_types = {f.name: str(f.type) for f in dataclasses.fields(SimulationConfig)}
     ftype = field_types[args.param]
     if "Tuple" in ftype or "List" in ftype:
@@ -432,6 +542,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_scen = sub.add_parser("scenarios", help="list the world-dynamics scenario presets")
     p_scen.set_defaults(func=_cmd_scenarios)
 
+    p_regions = sub.add_parser("regions", help="list the multi-region topology presets")
+    p_regions.add_argument("--list", action="store_true",
+                           help="list the registered topologies (the default action)")
+    p_regions.add_argument("-v", "--verbose", action="store_true",
+                           help="also print each topology's regions, pools and scenarios")
+    p_regions.set_defaults(func=_cmd_regions)
+
     p_workload = sub.add_parser("workload", help="generate a synthetic workload file")
     p_workload.add_argument("-n", "--num-jobs", type=int, default=100)
     p_workload.add_argument("-o", "--output", default="workload.csv", help=".csv or .json path")
@@ -466,6 +583,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--stats", action="store_true",
                        help="print event-loop statistics (events, batches, events/s); "
                             "runs in-process")
+    p_sim.add_argument("--regions",
+                       help="multi-region topology preset (see 'repro regions'); runs one "
+                            "broker shard per region behind the routing tier")
+    p_sim.add_argument("--routing", default="locality",
+                       choices=("locality", "least-loaded", "calibration-aware", "round-robin"),
+                       help="routing policy of the multi-region front tier")
     _add_engine_options(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
 
@@ -491,8 +614,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="checkpointed preemption: preempted/killed jobs resume with "
                               "only their remaining shots")
     p_serve.add_argument("--model", help="trained policy .npz (required for rlbase)")
-    p_serve.add_argument("--records", help="write per-job records to this CSV file")
+    p_serve.add_argument("--records", help="write per-job records to this CSV file "
+                                           "(JSONL with --stream)")
     p_serve.add_argument("--report", help="write the per-tenant SLO report to this JSON file")
+    p_serve.add_argument("--stream", action="store_true",
+                         help="O(1)-memory serving: stream records into P2 percentile "
+                              "sketches instead of RAM (million-job runs)")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_cmp = sub.add_parser("compare", help="compare allocation strategies (Table 2)")
@@ -505,6 +632,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "face the same non-stationary world)")
     p_cmp.add_argument("--tenants",
                        help="multi-tenant mix preset (all strategies serve the same mix)")
+    p_cmp.add_argument("--regions",
+                       help="multi-region topology preset (all strategies route over the "
+                            "same sharded cloud)")
+    p_cmp.add_argument("--routing", default="locality",
+                       choices=("locality", "least-loaded", "calibration-aware", "round-robin"),
+                       help="routing policy of the multi-region front tier")
     p_cmp.add_argument("--histograms", action="store_true", help="print Fig.-6-style histograms")
     _add_engine_options(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)
@@ -518,6 +651,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--seed", type=int, default=2025)
     p_sweep.add_argument("--replicates", type=int, default=1,
                          help="workload replicates per grid cell (seeds derived)")
+    p_sweep.add_argument("--regions",
+                         help="multi-region topology preset applied to every grid cell")
+    p_sweep.add_argument("--routing", default="locality",
+                         choices=("locality", "least-loaded", "calibration-aware", "round-robin"),
+                         help="routing policy of the multi-region front tier")
     _add_engine_options(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 

@@ -88,6 +88,18 @@ class SimulationConfig:
     #: by default.
     fast_path: bool = False
 
+    #: Named multi-region topology (see :mod:`repro.region`): the run becomes
+    #: a sharded cloud — one broker shard per region behind a routing tier,
+    #: with inter-region transfer latency and fidelity penalties.  ``None``
+    #: keeps the plain single-broker cloud; a one-region topology is
+    #: byte-identical to it.
+    regions: Optional[str] = None
+
+    #: Routing policy of the multi-region front tier (only meaningful when
+    #: ``regions`` is set): "locality", "least-loaded", "calibration-aware"
+    #: or "round-robin".
+    routing: str = "locality"
+
     def __post_init__(self) -> None:
         if self.num_jobs <= 0:
             raise ValueError("num_jobs must be positive")
@@ -109,6 +121,15 @@ class SimulationConfig:
             raise ValueError("tenants must be None or a non-empty mix name")
         if self.max_requeues < 0:
             raise ValueError("max_requeues must be non-negative")
+        if self.regions is not None:
+            if not self.regions:
+                raise ValueError("regions must be None or a non-empty topology name")
+            from repro.region.router import ROUTING_POLICIES
+
+            if self.routing not in ROUTING_POLICIES:
+                raise ValueError(
+                    f"routing must be one of {ROUTING_POLICIES}, got {self.routing!r}"
+                )
 
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict view (for logging next to results)."""
@@ -148,4 +169,14 @@ class SimulationConfig:
         """Copy of the configuration with the flat-event fast path toggled."""
         payload = asdict(self)
         payload["fast_path"] = fast_path
+        return SimulationConfig(**payload)
+
+    def with_regions(
+        self, regions: Optional[str], routing: Optional[str] = None
+    ) -> "SimulationConfig":
+        """Copy of the configuration with a different region topology."""
+        payload = asdict(self)
+        payload["regions"] = regions
+        if routing is not None:
+            payload["routing"] = routing
         return SimulationConfig(**payload)

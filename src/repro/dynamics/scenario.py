@@ -205,6 +205,11 @@ class TrafficSpec:
     peak_rate: float = 0.12
     #: Rate-modulation period, seconds (``"diurnal"``).
     period: float = 7200.0
+    #: Phase offset of the diurnal modulation, radians (``"diurnal"``).  Two
+    #: specs differing only in phase see the same rate envelope shifted in
+    #: time — how multi-region topologies model timezones (a region ``pi``
+    #: ahead peaks while another troughs; see :mod:`repro.region`).
+    phase: float = 0.0
     #: Job-size distribution: ``"uniform"`` or ``"heavy_tail"``.
     qubit_dist: str = "uniform"
     #: Pareto tail index of the heavy-tail size distribution.

@@ -109,6 +109,19 @@ def execute_cell(cell: ExperimentCell) -> CellResult:
     if policy is None and cell.policy_spec is not None:
         policy = cell.policy_spec.build()
 
+    if getattr(config, "regions", None) is not None:
+        # Multi-region cell: one broker shard per region behind the routing
+        # tier.  Shards run serially inside this worker — the engine's own
+        # process backend already parallelises across cells, and nesting
+        # process pools inside workers deadlocks.
+        from repro.region import RegionalCloud
+
+        cloud = RegionalCloud(config=config, jobs=jobs, policy=policy)
+        records = cloud.run_until_complete()
+        name = getattr(cloud.policy, "name", config.policy) if policy else config.policy
+        summary = summarize_records(records, strategy=name) if records else empty_summary(name)
+        return CellResult(cell=cell, summary=summary, records=records)
+
     env = QCloudSimEnv(config=config, jobs=jobs, policy=policy)
     records = env.run_until_complete()
     name = getattr(env.policy, "name", config.policy)

@@ -32,6 +32,9 @@ _KEEP_SCENARIO = object()
 #: Sentinel: no tenant axis requested — cells keep the base config's tenants.
 _KEEP_TENANTS = object()
 
+#: Sentinel: no regions axis requested — cells keep the base config's regions.
+_KEEP_REGIONS = object()
+
 
 def derive_seed(base_seed: Optional[int], *components: Any) -> int:
     """Derive a deterministic 63-bit seed from a base seed and components.
@@ -123,6 +126,33 @@ def _tenants_fingerprint(name: str) -> Optional[str]:
         return None
 
 
+def _regions_fingerprint(name: str) -> Optional[str]:
+    """Content hash of what a region-topology reference currently resolves to.
+
+    A topology's repr covers its regions, links and workload shares, but the
+    world behind it also includes every per-region *scenario* — so those are
+    folded in through :func:`_scenario_fingerprint` (a re-registered region
+    scenario must not return stale cache hits).  ``None`` marks the cell
+    uncacheable.
+    """
+    try:
+        from repro.region import get_topology
+    except ImportError:  # pragma: no cover - region always ships
+        return None
+    try:
+        topology = get_topology(name)
+    except KeyError:
+        return None
+    parts: List[str] = [repr(topology)]
+    for region in topology.regions:
+        if region.scenario is not None:
+            content = _scenario_fingerprint(region.scenario)
+            if content is None:
+                return None
+            parts.append(f"{region.name}:{content}")
+    return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
+
+
 @dataclass(frozen=True)
 class ExperimentCell:
     """One grid cell: a single simulation to run and summarise.
@@ -164,12 +194,18 @@ class ExperimentCell:
             tenants_content = _tenants_fingerprint(self.config.tenants)
             if tenants_content is None:
                 return None
+        regions_content = None
+        if getattr(self.config, "regions", None) is not None:
+            regions_content = _regions_fingerprint(self.config.regions)
+            if regions_content is None:
+                return None
         payload: Dict[str, Any] = {
             "strategy": self.strategy,
             "seed": self.seed,
             "config": self.config.as_dict(),
             "scenario_content": scenario_content,
             "tenants_content": tenants_content,
+            "regions_content": regions_content,
             "policy_spec": self.policy_spec.fingerprint() if self.policy_spec else None,
             "jobs": _jobs_fingerprint(self.jobs) if self.jobs is not None else None,
         }
@@ -216,6 +252,11 @@ class ExperimentSpec:
         crossed with ``scenarios`` and ``overrides``.  ``None`` in the tuple
         means "plain single-queue broker"; omitting the axis keeps the base
         config's own tenants.
+    regions:
+        Grid axis of region-topology names (see :mod:`repro.region`);
+        crossed with every other axis (outermost).  ``None`` in the tuple
+        means "plain single-broker cloud"; omitting the axis keeps the base
+        config's own regions.
     """
 
     base_config: SimulationConfig
@@ -231,6 +272,7 @@ class ExperimentSpec:
     jobs: Optional[Tuple[QJob, ...]] = None
     scenarios: Optional[Tuple[Optional[str], ...]] = None
     tenant_mixes: Optional[Tuple[Optional[str], ...]] = None
+    regions: Optional[Tuple[Optional[str], ...]] = None
 
     def __post_init__(self) -> None:
         if not self.strategies:
@@ -245,6 +287,8 @@ class ExperimentSpec:
             raise ValueError("scenarios must be non-empty when given")
         if self.tenant_mixes is not None and not self.tenant_mixes:
             raise ValueError("tenant_mixes must be non-empty when given")
+        if self.regions is not None and not self.regions:
+            raise ValueError("regions must be non-empty when given")
 
     def replicate_seeds(self) -> List[int]:
         """The workload seed of every replicate (deterministic)."""
@@ -258,9 +302,9 @@ class ExperimentSpec:
         ]
 
     def cells(self) -> List[ExperimentCell]:
-        """Expand the grid into flat cells (tenant-mix-major, then scenario,
-        then override, then replicate, then strategy — Table 2 order inside
-        each replicate)."""
+        """Expand the grid into flat cells (regions-major, then tenant mix,
+        then scenario, then override, then replicate, then strategy —
+        Table 2 order inside each replicate)."""
         cells: List[ExperimentCell] = []
         index = 0
         scenario_axis: Tuple[Any, ...] = (
@@ -269,41 +313,49 @@ class ExperimentSpec:
         tenants_axis: Tuple[Any, ...] = (
             self.tenant_mixes if self.tenant_mixes is not None else (_KEEP_TENANTS,)
         )
-        for tenants in tenants_axis:
-            for scenario in scenario_axis:
-                for override in self.overrides:
-                    for replicate, seed in enumerate(self.replicate_seeds()):
-                        for strategy in self.strategies:
-                            payload = dict(self.base_config.as_dict())
-                            payload.update(override)
-                            payload["policy"] = strategy
-                            payload["seed"] = seed
-                            if scenario is not _KEEP_SCENARIO:
-                                payload["scenario"] = scenario
-                            if tenants is not _KEEP_TENANTS:
-                                payload["tenants"] = tenants
-                            cells.append(
-                                ExperimentCell(
-                                    index=index,
-                                    strategy=strategy,
-                                    seed=seed,
-                                    config=SimulationConfig(**payload),
-                                    policy_spec=self.policy_specs.get(strategy),
-                                    policy=self.policies.get(strategy),
-                                    jobs=self.jobs,
-                                    replicate=replicate,
+        regions_axis: Tuple[Any, ...] = (
+            self.regions if self.regions is not None else (_KEEP_REGIONS,)
+        )
+        for regions in regions_axis:
+            for tenants in tenants_axis:
+                for scenario in scenario_axis:
+                    for override in self.overrides:
+                        for replicate, seed in enumerate(self.replicate_seeds()):
+                            for strategy in self.strategies:
+                                payload = dict(self.base_config.as_dict())
+                                payload.update(override)
+                                payload["policy"] = strategy
+                                payload["seed"] = seed
+                                if scenario is not _KEEP_SCENARIO:
+                                    payload["scenario"] = scenario
+                                if tenants is not _KEEP_TENANTS:
+                                    payload["tenants"] = tenants
+                                if regions is not _KEEP_REGIONS:
+                                    payload["regions"] = regions
+                                cells.append(
+                                    ExperimentCell(
+                                        index=index,
+                                        strategy=strategy,
+                                        seed=seed,
+                                        config=SimulationConfig(**payload),
+                                        policy_spec=self.policy_specs.get(strategy),
+                                        policy=self.policies.get(strategy),
+                                        jobs=self.jobs,
+                                        replicate=replicate,
+                                    )
                                 )
-                            )
-                            index += 1
+                                index += 1
         return cells
 
     def __len__(self) -> int:
         scenario_count = len(self.scenarios) if self.scenarios is not None else 1
         tenants_count = len(self.tenant_mixes) if self.tenant_mixes is not None else 1
+        regions_count = len(self.regions) if self.regions is not None else 1
         return (
             len(self.strategies)
             * len(self.replicate_seeds())
             * len(self.overrides)
             * scenario_count
             * tenants_count
+            * regions_count
         )

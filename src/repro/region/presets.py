@@ -1,0 +1,220 @@
+"""Named region-topology presets and the topology registry.
+
+The registry maps topology names to
+:class:`~repro.region.spec.RegionTopology` instances so configurations,
+experiment grids and the CLI can select a sharded cloud by name
+(``SimulationConfig(regions="dual")``, ``repro simulate --regions
+follow-the-sun``).  Six presets ship built-in:
+
+=========================  ==================================================
+``single``                 one region inheriting the configured fleet —
+                           byte-identical to the plain single-broker cloud
+``dual``                   two healthy regions: a fast EU pool (2x 220k
+                           CLOPS) vs a larger, slower US pool (3 devices)
+``global-triad``           three regions; the AP pool is small and slow, so
+                           load- and calibration-aware routing matter
+``region-outage``          ``dual`` with the US region down for its first
+                           1,800 s (fleet-wide maintenance) — arrivals in the
+                           window spill to the EU region
+``cross-region-rush-hour`` ``dual`` where each region's origin traffic is a
+                           diurnal process in antiphase: one region's crest
+                           is the other's trough
+``follow-the-sun``         three regions whose diurnal origin traffic peaks
+                           8 simulated hours apart, like timezone-shifted
+                           business days
+=========================  ==================================================
+
+A region's pool lists device *models* from the hardware catalogue; the same
+model may be deployed in several regions (each shard instantiates its own
+copy).  The traffic/outage scenarios the presets reference are registered in
+the :mod:`repro.dynamics` scenario registry when this module is imported.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Union
+
+from repro.dynamics import MaintenanceWindow, Scenario, TrafficSpec, register_scenario
+from repro.region.spec import RegionSpec, RegionTopology
+
+__all__ = [
+    "register_topology",
+    "get_topology",
+    "available_topologies",
+    "resolve_topology",
+]
+
+_REGISTRY: Dict[str, RegionTopology] = {}
+
+
+def register_topology(topology: RegionTopology) -> None:
+    """Register *topology* under its name (overwrites existing entries)."""
+    _REGISTRY[topology.name] = topology
+
+
+def get_topology(name: str) -> RegionTopology:
+    """Look up a registered topology by name."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown region topology {name!r}; available: {available_topologies()}")
+    return _REGISTRY[name]
+
+
+def available_topologies() -> List[str]:
+    """Names of all registered topologies (presets first, in preset order)."""
+    return list(_REGISTRY)
+
+
+def resolve_topology(topology: Union[str, RegionTopology]) -> RegionTopology:
+    """Resolve a topology reference: a registered name or an explicit instance."""
+    if isinstance(topology, RegionTopology):
+        return topology
+    return get_topology(topology)
+
+
+#: Device pools of the multi-region presets (catalogue model names).
+_EU_POOL = ("ibm_strasbourg", "ibm_brussels")
+_US_POOL = ("ibm_kyiv", "ibm_quebec", "ibm_kawasaki")
+_US_SMALL_POOL = ("ibm_kyiv", "ibm_quebec")
+_AP_POOL = ("ibm_kawasaki", "ibm_kyiv")
+
+
+def _register_region_scenarios() -> None:
+    # Region-local world dynamics, sized like the dynamics presets against
+    # the paper's case study (a 100-job batch drains in ~5-6 k simulated
+    # seconds on the full fleet; a half fleet takes roughly twice that).
+    register_scenario(
+        Scenario(
+            name="region-blackout",
+            description="whole-fleet maintenance for the first 1,800 s (region-wide outage)",
+            maintenance=(
+                MaintenanceWindow(start=0.0, duration=1800.0, device=None, kill_running=True),
+            ),
+        )
+    )
+    register_scenario(
+        Scenario(
+            name="region-rush-am",
+            description="diurnal origin traffic peaking in the morning half-period",
+            traffic=TrafficSpec(model="diurnal", rate=0.008, peak_rate=0.1,
+                                period=7200.0, phase=math.pi),
+        )
+    )
+    register_scenario(
+        Scenario(
+            name="region-rush-pm",
+            description="diurnal origin traffic peaking in the evening half-period",
+            traffic=TrafficSpec(model="diurnal", rate=0.008, peak_rate=0.1,
+                                period=7200.0, phase=0.0),
+        )
+    )
+    for hours in (0, 8, 16):
+        register_scenario(
+            Scenario(
+                name=f"region-sun-{hours:02d}",
+                description=f"diurnal origin traffic of a timezone {hours} h ahead of UTC",
+                traffic=TrafficSpec(
+                    model="diurnal",
+                    rate=0.006,
+                    peak_rate=0.08,
+                    period=10_800.0,
+                    phase=2.0 * math.pi * hours / 24.0,
+                ),
+            )
+        )
+
+
+def _register_presets() -> None:
+    register_topology(
+        RegionTopology(
+            name="single",
+            description="one region inheriting the configured fleet (the plain cloud's world)",
+            regions=(RegionSpec(name="global", device_names=(), workload_share=1.0),),
+        )
+    )
+    register_topology(
+        RegionTopology(
+            name="dual",
+            description="a fast EU pool vs a larger, slower US pool, both healthy",
+            regions=(
+                RegionSpec(name="eu-central", device_names=_EU_POOL, workload_share=0.5),
+                RegionSpec(name="us-east", device_names=_US_POOL, workload_share=0.5),
+            ),
+        )
+    )
+    register_topology(
+        RegionTopology(
+            name="global-triad",
+            description="EU/US/AP pools of uneven size and speed — routing policy matters",
+            regions=(
+                RegionSpec(name="eu-central", device_names=_EU_POOL, workload_share=0.4),
+                RegionSpec(name="us-east", device_names=_US_SMALL_POOL, workload_share=0.35),
+                RegionSpec(name="ap-tokyo", device_names=_AP_POOL, workload_share=0.25),
+            ),
+        )
+    )
+    register_topology(
+        RegionTopology(
+            name="region-outage",
+            description="dual layout with the US region down for its first 1,800 s",
+            regions=(
+                RegionSpec(name="eu-central", device_names=_EU_POOL, workload_share=0.5),
+                RegionSpec(
+                    name="us-east",
+                    device_names=_US_POOL,
+                    workload_share=0.5,
+                    scenario="region-blackout",
+                ),
+            ),
+        )
+    )
+    register_topology(
+        RegionTopology(
+            name="cross-region-rush-hour",
+            description="dual layout with antiphase diurnal origin traffic per region",
+            regions=(
+                RegionSpec(
+                    name="eu-central",
+                    device_names=_EU_POOL,
+                    workload_share=0.5,
+                    scenario="region-rush-am",
+                ),
+                RegionSpec(
+                    name="us-east",
+                    device_names=_US_POOL,
+                    workload_share=0.5,
+                    scenario="region-rush-pm",
+                ),
+            ),
+        )
+    )
+    register_topology(
+        RegionTopology(
+            name="follow-the-sun",
+            description="three regions whose diurnal traffic peaks 8 h apart",
+            regions=(
+                RegionSpec(
+                    name="eu-central",
+                    device_names=_EU_POOL,
+                    workload_share=0.4,
+                    scenario="region-sun-00",
+                ),
+                RegionSpec(
+                    name="us-east",
+                    device_names=_US_SMALL_POOL,
+                    workload_share=0.35,
+                    scenario="region-sun-08",
+                ),
+                RegionSpec(
+                    name="ap-tokyo",
+                    device_names=_AP_POOL,
+                    workload_share=0.25,
+                    scenario="region-sun-16",
+                ),
+            ),
+        )
+    )
+
+
+_register_region_scenarios()
+_register_presets()

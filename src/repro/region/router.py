@@ -1,0 +1,241 @@
+"""The routing tier: which region shard serves which job.
+
+The :class:`Router` is the multi-region cloud's front door.  It sees every
+job once, in arrival order, before any shard runs, and assigns it a region
+deterministically — no RNG, no wall clock — so a routing decision is a pure
+function of (topology, config, policy, job stream).  Four policies ship:
+
+``locality``
+    Serve the job in its origin region unless that region is down at the
+    job's arrival or can never fit it; spilled jobs fall back to the
+    least-loaded feasible region.  The production default: it keeps
+    cross-region transfer cost at zero for healthy regions.
+``least-loaded``
+    Greedy balance of normalised projected load ``(L_r + cost) / C_r``,
+    where ``C_r`` is the region's aggregate throughput capacity
+    (Σ CLOPS·qubits over its pool) and ``L_r`` the cost already routed
+    there.  Ignores origin entirely.
+``calibration-aware``
+    Least-loaded scoring scaled by the region's mean calibration error
+    score (paper Eq. 2): a fast but badly-calibrated pool loses to a
+    slightly slower, cleaner one until its load advantage dominates.
+``round-robin``
+    Cycles regions in topology order, skipping down/infeasible ones — the
+    baseline the smarter policies are compared against.
+
+Every policy skips regions that are *down* at the job's arrival (a region
+scenario's fleet-wide maintenance windows mark the whole shard offline) and
+regions whose pool can never fit the job's width.  When no region qualifies,
+the job goes to the largest feasible region regardless of downtime — the
+shard's own broker then queues or fails it, which keeps "impossible" jobs
+flowing through the normal failure-accounting path.
+
+The same :meth:`Router.assign` drives spillover *migration*: jobs that
+terminally failed in their assigned shard are re-routed with that region
+excluded (see :class:`~repro.region.cloud.RegionalCloud`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.cloud.qjob import QJob
+from repro.dynamics import resolve_scenario
+from repro.hardware.backends import get_device_profile
+from repro.region.spec import RegionSpec, RegionTopology
+
+__all__ = ["ROUTING_POLICIES", "RegionState", "Router"]
+
+#: Supported routing policies, in documentation order.
+ROUTING_POLICIES: Tuple[str, ...] = (
+    "locality",
+    "least-loaded",
+    "calibration-aware",
+    "round-robin",
+)
+
+
+class RegionState:
+    """The router's static + accumulated view of one region.
+
+    Static facts (pool width, capacity, mean error score, down windows) are
+    derived once from the topology and config; ``load`` accumulates the cost
+    of every job routed here so far.
+    """
+
+    def __init__(
+        self,
+        spec: RegionSpec,
+        device_names: Tuple[str, ...],
+        device_qubits: int,
+        quantum_volume: float,
+    ) -> None:
+        self.spec = spec
+        self.name = spec.name
+        self.device_names = device_names
+        profiles = [
+            get_device_profile(name, device_qubits, quantum_volume)
+            for name in device_names
+        ]
+        #: Total qubits across the pool — the widest job the shard can ever
+        #: serve (the partitioner splits jobs across devices).
+        self.total_qubits: int = sum(p.num_qubits for p in profiles)
+        #: Aggregate throughput capacity: Σ CLOPS·qubits over the pool.
+        self.capacity: float = float(sum(p.clops * p.num_qubits for p in profiles))
+        #: Mean calibration error score of the pool (paper Eq. 2).
+        self.mean_error_score: float = sum(p.error_score() for p in profiles) / len(profiles)
+        #: Cost already routed here (see :meth:`Router.job_cost`).
+        self.load: float = 0.0
+        #: ``(start, end)`` intervals during which the whole region is down:
+        #: fleet-wide maintenance windows of the region's scenario.
+        self.down_intervals: Tuple[Tuple[float, float], ...] = ()
+        if spec.scenario is not None:
+            scenario = resolve_scenario(spec.scenario)
+            self.down_intervals = tuple(
+                (window.start, window.start + window.duration)
+                for window in scenario.maintenance
+                if window.device is None
+            )
+
+    def is_down(self, time: float) -> bool:
+        """Whether the whole region is offline at *time*."""
+        return any(start <= time < end for start, end in self.down_intervals)
+
+    def fits(self, job: QJob) -> bool:
+        """Whether the region's pool can ever serve *job* (width check)."""
+        return job.num_qubits <= self.total_qubits
+
+    def projected(self, cost: float) -> float:
+        """Normalised load if *cost* were routed here."""
+        return (self.load + cost) / self.capacity
+
+
+class Router:
+    """Deterministic front tier assigning jobs to region shards.
+
+    Parameters
+    ----------
+    topology:
+        The resolved region topology.
+    config:
+        The run's configuration — supplies the inherited fleet of regions
+        with an empty pool, plus device qubits / quantum volume.
+    policy:
+        One of :data:`ROUTING_POLICIES`.
+    """
+
+    def __init__(self, topology: RegionTopology, config, policy: str = "locality") -> None:
+        if policy not in ROUTING_POLICIES:
+            raise ValueError(f"unknown routing policy {policy!r}; choose from {ROUTING_POLICIES}")
+        self.topology = topology
+        self.policy = policy
+        self.states: Dict[str, RegionState] = {}
+        for spec in topology.regions:
+            pool = spec.device_names or tuple(config.device_names)
+            self.states[spec.name] = RegionState(
+                spec, pool, config.device_qubits, config.quantum_volume
+            )
+        self._rr_index = 0
+
+    # -- cost model ------------------------------------------------------------
+    @staticmethod
+    def job_cost(job: QJob) -> float:
+        """Routing-tier cost proxy of one job: qubits × depth × shots.
+
+        Proportional to the layer-execution work the shard will do; the
+        absolute scale cancels in every policy's normalised comparison.
+        """
+        return float(job.num_qubits) * float(job.depth) * float(job.num_shots)
+
+    # -- assignment ------------------------------------------------------------
+    def assign(
+        self,
+        job: QJob,
+        origin: Optional[str] = None,
+        exclude: FrozenSet[str] = frozenset(),
+    ) -> str:
+        """Pick the region that serves *job* and account its load there.
+
+        *origin* is the region the job arrived in (used by ``locality`` and
+        as the round-robin's notion of "home"); *exclude* removes regions
+        already tried (migration re-routing).
+        """
+        cost = self.job_cost(job)
+        candidates = [
+            state
+            for state in self.states.values()
+            if state.name not in exclude
+            and state.fits(job)
+            and not state.is_down(job.arrival_time)
+        ]
+        chosen = self._choose(job, origin, candidates, cost)
+        if chosen is None:
+            chosen = self._fallback(job, exclude)
+        chosen.load += cost
+        return chosen.name
+
+    def _choose(
+        self,
+        job: QJob,
+        origin: Optional[str],
+        candidates: List[RegionState],
+        cost: float,
+    ) -> Optional[RegionState]:
+        if not candidates:
+            return None
+        if self.policy == "locality" and origin is not None:
+            for state in candidates:
+                if state.name == origin:
+                    return state
+            # Origin down/infeasible/excluded: spill to the least-loaded
+            # feasible region instead.
+        if self.policy == "round-robin":
+            names = self.topology.region_names
+            eligible = {state.name for state in candidates}
+            for offset in range(len(names)):
+                name = names[(self._rr_index + offset) % len(names)]
+                if name in eligible:
+                    self._rr_index = (self._rr_index + offset + 1) % len(names)
+                    return self.states[name]
+            return None
+        if self.policy == "calibration-aware":
+            return min(
+                candidates,
+                key=lambda s: (
+                    s.mean_error_score * (1.0 + s.projected(cost)),
+                    self.topology.region_names.index(s.name),
+                ),
+            )
+        # "least-loaded", and the spill path of "locality".
+        return min(
+            candidates,
+            key=lambda s: (s.projected(cost), self.topology.region_names.index(s.name)),
+        )
+
+    def _fallback(self, job: QJob, exclude: FrozenSet[str]) -> RegionState:
+        """No up+feasible region: send the job somewhere it can at least
+        queue (widest pool wins), so it fails through the shard's normal
+        accounting rather than vanishing at the routing tier."""
+        pool = [s for s in self.states.values() if s.name not in exclude] or list(
+            self.states.values()
+        )
+        return max(
+            pool,
+            key=lambda s: (
+                s.total_qubits,
+                -self.topology.region_names.index(s.name),
+            ),
+        )
+
+    # -- reporting -------------------------------------------------------------
+    def load_report(self) -> Dict[str, Dict[str, float]]:
+        """Per-region routed load and capacity (for summaries and the CLI)."""
+        return {
+            name: {
+                "capacity": state.capacity,
+                "routed_load": state.load,
+                "normalised_load": state.load / state.capacity,
+                "mean_error_score": state.mean_error_score,
+            }
+            for name, state in self.states.items()
+        }

@@ -236,6 +236,7 @@ def generate_traffic_jobs(
             base_rate=traffic.rate,
             peak_rate=traffic.peak_rate,
             period=traffic.period,
+            phase=getattr(traffic, "phase", 0.0),
             start_time=start_time,
         )
     else:  # "poisson"

@@ -79,6 +79,15 @@ class TestExamples:
         assert "Per-tenant SLO report" in result.stdout
         assert "premium" in result.stdout
 
+    def test_multiregion_sweep(self):
+        result = run_example("multiregion_sweep.py", "8")
+        assert result.returncode == 0, result.stderr
+        for topology in ("dual", "region-outage", "cross-region-rush-hour",
+                         "follow-the-sun"):
+            assert topology in result.stdout
+        assert "Per-region report" in result.stdout
+        assert "eu-central" in result.stdout and "us-east" in result.stdout
+
     def test_custom_policy(self):
         result = run_example("custom_policy.py", "20")
         assert result.returncode == 0, result.stderr

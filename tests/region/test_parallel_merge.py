@@ -1,0 +1,51 @@
+"""Process-parallel shard execution must equal serial shard execution.
+
+A shard is a pure function of its picklable task (jobs are cloned before
+simulation, floats survive pickling bit-for-bit), so running the regions as
+real parallel processes must produce the same merged, globally job-id-ordered
+record stream as the default serial execution — the second acceptance
+regression of the region subsystem.
+"""
+
+import pytest
+
+from repro.cloud.config import SimulationConfig
+from repro.engine import ExperimentRunner
+from repro.region import RegionalCloud
+
+
+def _run(preset, runner=None):
+    config = SimulationConfig(num_jobs=10, policy="fidelity", seed=3, regions=preset)
+    cloud = RegionalCloud(config=config, runner=runner)
+    records = cloud.run_until_complete()
+    return cloud, records
+
+
+class TestParallelMerge:
+    @pytest.mark.parametrize("preset", ("dual", "region-outage", "follow-the-sun"))
+    def test_process_backend_matches_serial(self, preset):
+        serial_cloud, serial_records = _run(preset)
+        process_cloud, process_records = _run(
+            preset, runner=ExperimentRunner(backend="process", max_workers=2)
+        )
+        assert [r.as_dict() for r in process_records] == [
+            r.as_dict() for r in serial_records
+        ]
+        assert process_cloud.origin_of == serial_cloud.origin_of
+        assert process_cloud.region_of == serial_cloud.region_of
+        assert process_cloud.migrations == serial_cloud.migrations
+        assert process_cloud.failed == serial_cloud.failed
+        assert process_cloud.region_reports() == serial_cloud.region_reports()
+
+    def test_merged_stream_is_globally_ordered(self):
+        _, records = _run("dual")
+        ids = [r.job_id for r in records]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+    def test_every_job_is_accounted_for(self):
+        cloud, records = _run("dual")
+        assert len(records) + len(cloud.failed) == 10
+        reports = cloud.region_reports()
+        assert sum(r["origin_jobs"] for r in reports.values()) == 10
+        assert sum(r["served_jobs"] for r in reports.values()) == 10

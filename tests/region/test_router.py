@@ -1,0 +1,116 @@
+"""The routing tier: policy behaviour, downtime avoidance and fallback."""
+
+import pytest
+
+from repro.circuits.circuit import CircuitSpec
+from repro.cloud.config import SimulationConfig
+from repro.cloud.qjob import QJob
+from repro.region import ROUTING_POLICIES, Router, get_topology
+
+
+def _job(num_qubits, arrival=0.0, job_id=0, depth=10, shots=100):
+    circuit = CircuitSpec(
+        num_qubits=num_qubits,
+        depth=depth,
+        num_shots=shots,
+        num_two_qubit_gates=num_qubits,
+    )
+    return QJob(job_id=job_id, circuit=circuit, arrival_time=arrival)
+
+
+def _router(topology_name, policy):
+    return Router(get_topology(topology_name), SimulationConfig(num_jobs=1), policy=policy)
+
+
+class TestRouterConstruction:
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            _router("dual", "fastest-first")
+
+    def test_inherits_fleet_for_empty_pools(self):
+        config = SimulationConfig(num_jobs=1)
+        router = Router(get_topology("single"), config, policy="locality")
+        state = router.states["global"]
+        assert state.device_names == tuple(config.device_names)
+
+    def test_job_cost(self):
+        assert Router.job_cost(_job(10, depth=5, shots=20)) == 1000.0
+
+
+class TestLocality:
+    def test_serves_the_origin_region(self):
+        router = _router("dual", "locality")
+        assert router.assign(_job(100, job_id=0), origin="us-east") == "us-east"
+        assert router.assign(_job(100, job_id=1), origin="eu-central") == "eu-central"
+
+    def test_spills_when_origin_excluded(self):
+        router = _router("dual", "locality")
+        target = router.assign(
+            _job(100), origin="eu-central", exclude=frozenset({"eu-central"})
+        )
+        assert target == "us-east"
+
+    def test_spills_when_origin_cannot_fit(self):
+        # The dual EU pool is 2x127 = 254 qubits; the US pool 3x127 = 381.
+        router = _router("dual", "locality")
+        assert router.assign(_job(300), origin="eu-central") == "us-east"
+
+
+class TestDowntime:
+    def test_avoids_down_region(self):
+        # region-outage: us-east is fleet-wide down for [0, 1800).
+        router = _router("region-outage", "locality")
+        assert router.assign(_job(100, arrival=100.0), origin="us-east") == "eu-central"
+
+    def test_serves_origin_after_the_window(self):
+        router = _router("region-outage", "locality")
+        assert router.assign(_job(100, arrival=2000.0), origin="us-east") == "us-east"
+
+
+class TestFallback:
+    def test_impossible_job_goes_to_the_widest_pool(self):
+        # No pool fits 500 qubits; the widest (us-east, 381) at least queues it.
+        router = _router("dual", "locality")
+        assert router.assign(_job(500), origin="eu-central") == "us-east"
+
+
+class TestLeastLoaded:
+    def test_ignores_origin(self):
+        # The EU pool's capacity (2x 220k-CLOPS devices) dwarfs the US pool's,
+        # so an empty router sends the first job there regardless of origin.
+        router = _router("dual", "least-loaded")
+        assert router.assign(_job(100), origin="us-east") == "eu-central"
+
+    def test_load_accumulates_in_the_report(self):
+        router = _router("dual", "least-loaded")
+        job = _job(100)
+        target = router.assign(job)
+        report = router.load_report()
+        assert report[target]["routed_load"] == Router.job_cost(job)
+        assert report[target]["normalised_load"] > 0.0
+
+
+class TestRoundRobin:
+    def test_cycles_in_topology_order(self):
+        router = _router("global-triad", "round-robin")
+        names = get_topology("global-triad").region_names
+        targets = [router.assign(_job(100, job_id=i)) for i in range(4)]
+        assert targets == names + [names[0]]
+
+    def test_skips_down_regions(self):
+        router = _router("region-outage", "round-robin")
+        targets = {router.assign(_job(100, job_id=i, arrival=10.0)) for i in range(4)}
+        assert targets == {"eu-central"}
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("policy", ROUTING_POLICIES)
+    def test_same_stream_same_assignment(self, policy):
+        jobs = [_job(50 + 17 * i, job_id=i, depth=5 + i, shots=100 + i) for i in range(12)]
+        origins = ["eu-central" if i % 3 else "us-east" for i in range(12)]
+        first = _router("global-triad", policy)
+        second = _router("global-triad", policy)
+        a = [first.assign(job, origin=o) for job, o in zip(jobs, origins)]
+        b = [second.assign(job, origin=o) for job, o in zip(jobs, origins)]
+        assert a == b
+        assert set(a) <= set(get_topology("global-triad").region_names)

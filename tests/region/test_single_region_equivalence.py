@@ -1,0 +1,72 @@
+"""A one-region RegionalCloud must be byte-identical to the plain cloud.
+
+The acceptance regression of the region subsystem: wrapping the plain
+single-broker cloud in the regional machinery (router, shard config, record
+merge) must not change a single record field, for any routing policy, with
+or without an explicit workload, and with world-dynamics scenarios attached.
+"""
+
+import pytest
+
+from repro.cloud.config import SimulationConfig
+from repro.cloud.environment import QCloudSimEnv
+from repro.region import ROUTING_POLICIES, RegionalCloud
+
+
+def _dicts(records):
+    return [r.as_dict() for r in records]
+
+
+def _plain(config_kwargs):
+    env = QCloudSimEnv(SimulationConfig(**config_kwargs))
+    return _dicts(env.run_until_complete())
+
+
+class TestSingleRegionEquivalence:
+    @pytest.mark.parametrize("routing", ROUTING_POLICIES)
+    def test_generated_workload_identical(self, routing):
+        config = SimulationConfig(
+            num_jobs=8, policy="fidelity", seed=11, regions="single", routing=routing
+        )
+        cloud = RegionalCloud(config=config)
+        records = cloud.run_until_complete()
+        assert _dicts(records) == _plain(dict(num_jobs=8, policy="fidelity", seed=11))
+        assert cloud.failed == []
+        assert cloud.migrations == []
+
+    def test_explicit_workload_identical(self):
+        from repro.cloud.job_generator import generate_synthetic_jobs
+
+        jobs = generate_synthetic_jobs(num_jobs=6, seed=4)
+        config = SimulationConfig(num_jobs=6, policy="speed", seed=4)
+        cloud = RegionalCloud(config=config, topology="single", jobs=jobs)
+        records = cloud.run_until_complete()
+        env = QCloudSimEnv(config, jobs=[job.clone() for job in jobs])
+        assert _dicts(records) == _dicts(env.run_until_complete())
+
+    def test_scenario_passes_through(self):
+        config = SimulationConfig(num_jobs=6, policy="fidelity", seed=9, scenario="drift")
+        cloud = RegionalCloud(config=config, topology="single")
+        records = cloud.run_until_complete()
+        env = QCloudSimEnv(SimulationConfig(num_jobs=6, policy="fidelity", seed=9,
+                                            scenario="drift"))
+        assert _dicts(records) == _dicts(env.run_until_complete())
+
+    def test_summary_matches_plain_summary(self):
+        from repro.metrics.aggregate import summarize_records
+
+        config = SimulationConfig(num_jobs=6, policy="speed", seed=2, regions="single")
+        cloud = RegionalCloud(config=config)
+        cloud.run_until_complete()
+        env = QCloudSimEnv(SimulationConfig(num_jobs=6, policy="speed", seed=2))
+        plain = summarize_records(env.run_until_complete(), strategy="speed")
+        assert cloud.summary() == plain
+
+    def test_region_report_accounts_every_job(self):
+        config = SimulationConfig(num_jobs=6, policy="speed", seed=2, regions="single")
+        cloud = RegionalCloud(config=config)
+        cloud.run_until_complete()
+        report = cloud.region_reports()["global"]
+        assert report["served_jobs"] == 6
+        assert report["completed"] == 6
+        assert report["failed"] == 0

@@ -1,0 +1,81 @@
+"""Tests for the multi-region surface of the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+PRESETS = (
+    "single",
+    "dual",
+    "global-triad",
+    "region-outage",
+    "cross-region-rush-hour",
+    "follow-the-sun",
+)
+
+
+class TestRegionsCommand:
+    def test_lists_topologies(self, capsys):
+        assert main(["regions"]) == 0
+        out = capsys.readouterr().out
+        for preset in PRESETS:
+            assert preset in out
+
+    def test_verbose_lists_pools_and_scenarios(self, capsys):
+        assert main(["regions", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "eu-central" in out
+        assert "us-east" in out
+        assert "ibm_strasbourg" in out
+        assert "region-blackout" in out
+        assert "(inherit)" in out  # the single preset inherits the fleet
+
+
+class TestSimulateRegions:
+    def test_simulate_dual(self, capsys):
+        assert main(["simulate", "--regions", "dual", "-n", "8", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "jobs completed: 8" in out
+        assert "dual (2 regions, locality routing)" in out
+        assert "eu-central" in out and "us-east" in out
+        assert "migrations" in out
+
+    def test_simulate_routing_choice(self, capsys):
+        code = main(
+            ["simulate", "--regions", "dual", "--routing", "least-loaded",
+             "-n", "6", "--seed", "2"]
+        )
+        assert code == 0
+        assert "least-loaded routing" in capsys.readouterr().out
+
+    def test_simulate_records_export(self, capsys, tmp_path):
+        records_path = str(tmp_path / "records.csv")
+        code = main(
+            ["simulate", "--regions", "dual", "-n", "6", "--seed", "2",
+             "--records", records_path]
+        )
+        assert code == 0
+        from repro.cloud.io import jobs_from_csv  # noqa: F401  (import check)
+
+        import csv
+
+        with open(records_path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 6
+
+    def test_simulate_rejects_trace_with_regions(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--regions", "dual", "-n", "4",
+                  "--trace", str(tmp_path / "t.jsonl")])
+
+    def test_simulate_rejects_unknown_routing(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--regions", "dual", "--routing", "fastest-first"])
+
+
+class TestCompareSweepRegions:
+    def test_compare_over_regions(self, capsys):
+        assert main(["compare", "--regions", "dual", "-n", "6", "--seed", "2",
+                     "--strategies", "speed", "fidelity"]) == 0
+        out = capsys.readouterr().out
+        assert "speed" in out and "fidelity" in out
