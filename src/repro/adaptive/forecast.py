@@ -1,0 +1,175 @@
+"""Online arrival-rate estimation and short-horizon forecasting.
+
+The workload generators in :mod:`repro.workloads.arrivals` *produce*
+non-stationary traffic (MMPP bursts, diurnal waves); this module fits them
+back *online*, one observed arrival at a time, so controllers can act on
+``predicted_rate(t, horizon)`` instead of the stale configured rate.
+
+Two estimators compose :class:`OnlineArrivalForecaster`:
+
+* **windowed MLE** — the Poisson rate over the trailing observation window
+  (guarded by :func:`repro.workloads.arrivals.fit_window`), which tracks
+  MMPP phase switches within a dwell time or two;
+* **diurnal-phase profile** — when a period hint is available (e.g. from a
+  diurnal :class:`~repro.dynamics.scenario.TrafficSpec`), arrivals are
+  binned by phase ``t mod period`` and the per-bin empirical rates replay
+  the daily wave; the forecaster prefers this profile once it has seen a
+  full period.
+
+Everything is O(1) memory (bounded deque + fixed bins) and deterministic —
+no RNG is consumed, so attaching a forecaster never perturbs a seeded run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from repro.workloads.arrivals import fit_window
+
+__all__ = ["OnlineArrivalForecaster"]
+
+_EPS = 1e-9
+
+
+class OnlineArrivalForecaster:
+    """Fits arrival rates online; exposes ``rate`` / ``predicted_rate``.
+
+    Parameters
+    ----------
+    window:
+        Trailing observation window (simulated seconds) for the MLE rate.
+    period:
+        Optional diurnal period hint.  When set, a phase-binned profile is
+        fitted alongside the windowed rate and used for prediction once a
+        full period has been observed.
+    bins:
+        Number of phase bins for the diurnal profile.
+    max_samples:
+        Bound on retained arrival timestamps (oldest dropped first); only
+        the trailing *window* matters, so this caps memory, not accuracy.
+    """
+
+    def __init__(
+        self,
+        window: float = 900.0,
+        period: Optional[float] = None,
+        bins: int = 24,
+        max_samples: int = 4096,
+    ) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if period is not None and period <= 0:
+            raise ValueError("period must be positive when given")
+        if bins < 2:
+            raise ValueError("bins must be >= 2")
+        self.window = float(window)
+        self.period = float(period) if period is not None else None
+        self.bins = int(bins)
+        self._times: Deque[float] = deque(maxlen=max_samples)
+        self._bin_counts = [0] * self.bins
+        self.observations = 0
+        self.first_time: Optional[float] = None
+        self.last_time: Optional[float] = None
+
+    def observe(self, t: float) -> None:
+        """Record one arrival at simulated time *t* (monotone non-decreasing)."""
+        t = float(t)
+        self._times.append(t)
+        self.observations += 1
+        if self.first_time is None:
+            self.first_time = t
+        self.last_time = t
+        if self.period is not None:
+            self._bin_counts[int((t % self.period) / self.period * self.bins) % self.bins] += 1
+
+    # -- estimation ---------------------------------------------------------
+
+    def rate(self, now: float) -> float:
+        """Windowed MLE arrival rate over ``[now - window, now]`` (jobs/s)."""
+        return self._window_rate(now - self.window, now)
+
+    def baseline_rate(self) -> float:
+        """Long-run observed rate over the whole run so far (jobs/s)."""
+        if self.first_time is None or self.last_time is None:
+            return 0.0
+        span = self.last_time - self.first_time
+        if span <= _EPS:
+            return 0.0
+        return (self.observations - 1) / span
+
+    def _window_rate(self, lo: float, hi: float) -> float:
+        recent = [t for t in self._times if lo <= t <= hi]
+        fitted = fit_window(recent, window_start=lo, window_end=hi)
+        if fitted is not None:
+            return fitted
+        # Idle or near-idle window: fall back to the count-based estimate
+        # (0 or 1 arrivals over the window width) instead of None.
+        width = hi - lo
+        if width <= _EPS:
+            return 0.0
+        return len(recent) / width
+
+    # -- forecasting --------------------------------------------------------
+
+    def predicted_rate(self, t: float, horizon: float) -> float:
+        """Mean predicted arrival rate over ``[t, t + horizon]`` (jobs/s).
+
+        Uses the diurnal phase profile when a period hint is set and at
+        least one full period has been observed; otherwise extrapolates the
+        trend between the two most recent observation windows, clamped at
+        zero.
+        """
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if self.first_time is None or self.last_time is None:
+            return 0.0
+        span = self.last_time - self.first_time
+        if (
+            self.period is not None
+            and span >= self.period
+            and self.observations >= self.bins
+        ):
+            return self._profile_rate(t, horizon)
+        now = self.last_time
+        recent = self._window_rate(now - self.window, now)
+        previous = self._window_rate(now - 2.0 * self.window, now - self.window)
+        slope = (recent - previous) / self.window
+        midpoint = t + horizon / 2.0
+        return max(0.0, recent + slope * (midpoint - now))
+
+    def _profile_rate(self, t: float, horizon: float) -> float:
+        period = self.period
+        assert period is not None and self.first_time is not None
+        span = self.last_time - self.first_time  # type: ignore[operator]
+        # Observed time per phase bin: full cycles plus the partial one.
+        per_bin_time = span / self.bins
+        if per_bin_time <= _EPS:
+            return 0.0
+        bin_width = period / self.bins
+        # Average the per-bin rates across every bin the horizon touches.
+        start_bin = int((t % period) / bin_width)
+        touched = max(1, min(self.bins, int(horizon / bin_width) + 1))
+        total = 0.0
+        for offset in range(touched):
+            total += self._bin_counts[(start_bin + offset) % self.bins]
+        return total / (touched * per_bin_time)
+
+    def is_rush(self, t: float, horizon: float, factor: float) -> bool:
+        """True when the forecast over ``[t, t+horizon]`` exceeds *factor* ×
+        the long-run baseline rate (a predicted rush window)."""
+        base = self.baseline_rate()
+        if base <= _EPS:
+            return False
+        return self.predicted_rate(t, horizon) >= factor * base
+
+    def fitted(self) -> Dict[str, object]:
+        """Snapshot of the fitted parameters (for reports / CLI)."""
+        now = self.last_time if self.last_time is not None else 0.0
+        return {
+            "observations": self.observations,
+            "window": self.window,
+            "period": self.period,
+            "baseline_rate": self.baseline_rate(),
+            "recent_rate": self.rate(now),
+        }

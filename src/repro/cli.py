@@ -17,6 +17,10 @@ Exposes the framework's main workflows without writing Python::
     python -m repro serve --tenants free-tier-vs-premium -n 200 --stream
     python -m repro regions                      # list multi-region topologies
     python -m repro simulate --regions dual -n 200 --backend process
+    python -m repro adaptive -v                  # list adaptive QoS policies
+    python -m repro serve --tenants noisy-neighbor --scenario black-friday \
+        --adaptive predictive -n 200
+    python -m repro sweep --param adaptive --values static reactive predictive
     python -m repro compare --regions global-triad --routing least-loaded -n 200
     python -m repro sweep --param routing --regions dual \
         --values locality least-loaded calibration-aware round-robin
@@ -128,6 +132,33 @@ def _cmd_regions(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_adaptive(args: argparse.Namespace) -> int:
+    from repro.adaptive import available_adaptive_policies, get_adaptive_policy
+
+    print(f"{'policy':<12} {'tick(s)':>8} {'controllers':<12}  description")
+    for name in available_adaptive_policies():
+        spec = get_adaptive_policy(name)
+        controllers = len(spec.controller_names) or "-"
+        print(f"{name:<12} {spec.tick_interval:>8g} {controllers!s:<12}  {spec.description}")
+        if args.verbose:
+            for controller in spec.controller_names:
+                print(f"  - {controller}")
+            if spec.adaptive_admission:
+                print(f"    aimd: +{spec.aimd_increase:g}*base / x{spec.aimd_decrease:g} "
+                      f"in [{spec.aimd_floor:g}, {spec.aimd_ceiling:g}]*base, "
+                      f"depth>{spec.queue_depth_high}")
+            if spec.slo_planner:
+                print(f"    planner: pressure>={spec.deadline_pressure:g}*deadline, "
+                      f"subset={spec.latency_pool_fraction:g} of fleet")
+            if spec.elastic_pooling:
+                print(f"    pooling: hysteresis={spec.pool_hysteresis:g} of fleet")
+            if spec.proactive_checkpointing:
+                print(f"    forecast: window={spec.forecast_window:g}s "
+                      f"horizon={spec.forecast_horizon:g}s rush>={spec.rush_factor:g}x "
+                      f"risk>={spec.outage_risk_threshold:g}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.analysis.reporting import format_tenant_table
     from repro.cloud.config import SimulationConfig
@@ -155,6 +186,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         tenants=args.tenants,
         max_requeues=args.max_requeues,
         checkpointing=args.checkpointing,
+        adaptive=args.adaptive,
     )
 
     if args.stream:
@@ -171,6 +203,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"jobs rejected : {len(env.broker.rejected_jobs)}")
             print(f"jobs failed   : {len(env.broker.failed_jobs)}")
             print(f"preemptions   : {env.broker.preempted_total}")
+            if env.adaptive_engine is not None and env.adaptive_engine.controllers:
+                print(f"adaptive      : {env.adaptive_policy.name} "
+                      f"({env.adaptive_engine.ticks} ticks)")
             if manager.mean_fidelity is not None:
                 print(f"fidelity      : {manager.mean_fidelity:.5f} (streaming mean)")
             tenants = sorted({t.name for t in env.tenant_mix.tenants})
@@ -209,6 +244,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"jobs rejected : {len(env.broker.rejected_jobs)}")
     print(f"jobs failed   : {len(env.broker.failed_jobs)}")
     print(f"preemptions   : {env.broker.preempted_total}")
+    if env.adaptive_engine is not None and env.adaptive_engine.controllers:
+        report = env.adaptive_report()
+        admission = report["decisions"].get("adaptive-admission", {})
+        print(f"adaptive      : {env.adaptive_policy.name} ({report['ticks']} ticks, "
+              f"{admission.get('adjustments', 0)} rate adjustments)")
     if records:
         summary = env.summary()
         print(f"T_sim (s)     : {summary.total_simulation_time:,.2f}")
@@ -284,6 +324,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         fast_path=args.fast_path,
         regions=args.regions,
         routing=args.routing,
+        adaptive=args.adaptive,
     )
     jobs = None
     if args.jobs:
@@ -411,6 +452,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         tenants=args.tenants,
         regions=args.regions,
         routing=args.routing,
+        adaptive=args.adaptive,
     )
     runner = _make_runner(args)
     result = run_case_study(
@@ -549,6 +591,13 @@ def build_parser() -> argparse.ArgumentParser:
                            help="also print each topology's regions, pools and scenarios")
     p_regions.set_defaults(func=_cmd_regions)
 
+    p_adaptive = sub.add_parser("adaptive", help="list the adaptive QoS policy presets")
+    p_adaptive.add_argument("--list", action="store_true",
+                            help="list the registered policies (the default action)")
+    p_adaptive.add_argument("-v", "--verbose", action="store_true",
+                            help="also print each policy's controllers and gains")
+    p_adaptive.set_defaults(func=_cmd_adaptive)
+
     p_workload = sub.add_parser("workload", help="generate a synthetic workload file")
     p_workload.add_argument("-n", "--num-jobs", type=int, default=100)
     p_workload.add_argument("-o", "--output", default="workload.csv", help=".csv or .json path")
@@ -589,6 +638,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--routing", default="locality",
                        choices=("locality", "least-loaded", "calibration-aware", "round-robin"),
                        help="routing policy of the multi-region front tier")
+    p_sim.add_argument("--adaptive",
+                       help="adaptive QoS policy preset (see 'repro adaptive'); attaches "
+                            "the closed-loop control plane")
     _add_engine_options(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
 
@@ -620,6 +672,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--stream", action="store_true",
                          help="O(1)-memory serving: stream records into P2 percentile "
                               "sketches instead of RAM (million-job runs)")
+    p_serve.add_argument("--adaptive",
+                         help="adaptive QoS policy preset (see 'repro adaptive'); attaches "
+                              "the closed-loop control plane")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_cmp = sub.add_parser("compare", help="compare allocation strategies (Table 2)")
@@ -638,6 +693,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--routing", default="locality",
                        choices=("locality", "least-loaded", "calibration-aware", "round-robin"),
                        help="routing policy of the multi-region front tier")
+    p_cmp.add_argument("--adaptive",
+                       help="adaptive QoS policy preset (all strategies run the same "
+                            "closed-loop control plane)")
     p_cmp.add_argument("--histograms", action="store_true", help="print Fig.-6-style histograms")
     _add_engine_options(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)

@@ -241,11 +241,14 @@ class Broker:
             circuit.subcircuit(alloc.num_qubits, name=f"{job.circuit.name}@{alloc.device.name}")
             for alloc in plan.allocations
         ]
+        # Resolved once per attempt so the decision stays consistent between
+        # launch and a mid-attempt abort even if the policy flips meanwhile.
+        checkpointing = self._checkpoint_for(job)
         sub_processes = [
             self.env.process(
                 alloc.device.execute(
                     fragment, plan.num_devices, job.num_qubits,
-                    checkpoint=self.checkpointing,
+                    checkpoint=checkpointing,
                 )
             )
             for alloc, fragment in zip(plan.allocations, fragments)
@@ -257,7 +260,7 @@ class Broker:
         if any(result.aborted for result in results):
             self._unregister_running(job)
             run.service_time += self.env.now - start_time
-            if self.checkpointing:
+            if checkpointing:
                 # Shots are usable only once *every* fragment has executed
                 # them (lock-step semantics), so checkpoint the minimum.
                 completed = min(result.completed_shots for result in results)
@@ -331,6 +334,16 @@ class Broker:
         self._note_completed(job, record)
         self.cloud.notify_capacity_released()
         return record
+
+    def _checkpoint_for(self, job: QJob) -> bool:
+        """Whether *job*'s next execution attempt should checkpoint.
+
+        Defaults to the configured flag; the adaptive control plane's
+        :class:`~repro.adaptive.controllers.ProactiveCheckpointer` overrides
+        this per-broker-instance to arm checkpointing ahead of predicted
+        outage/rush windows.
+        """
+        return self.checkpointing
 
     # -- life-cycle hooks (no-ops here; the serve broker keeps its tenant and
     # preemption bookkeeping in sync through these without perturbing the

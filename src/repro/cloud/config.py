@@ -100,6 +100,14 @@ class SimulationConfig:
     #: or "round-robin".
     routing: str = "locality"
 
+    #: Named adaptive QoS policy (see :mod:`repro.adaptive`): a closed-loop
+    #: control plane sensing queue depth / tail latency / forecast arrivals
+    #: and feeding them back into admission rates, allocation planning,
+    #: device pooling and checkpointing.  ``None`` (and the ``static``
+    #: preset) keeps the open-loop engine, byte-identical to pre-adaptive
+    #: runs.  In a multi-region run every shard gets its own control loop.
+    adaptive: Optional[str] = None
+
     def __post_init__(self) -> None:
         if self.num_jobs <= 0:
             raise ValueError("num_jobs must be positive")
@@ -130,6 +138,8 @@ class SimulationConfig:
                 raise ValueError(
                     f"routing must be one of {ROUTING_POLICIES}, got {self.routing!r}"
                 )
+        if self.adaptive is not None and not self.adaptive:
+            raise ValueError("adaptive must be None or a non-empty policy name")
 
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict view (for logging next to results)."""
@@ -179,4 +189,10 @@ class SimulationConfig:
         payload["regions"] = regions
         if routing is not None:
             payload["routing"] = routing
+        return SimulationConfig(**payload)
+
+    def with_adaptive(self, adaptive: Optional[str]) -> "SimulationConfig":
+        """Copy of the configuration with a different adaptive QoS policy."""
+        payload = asdict(self)
+        payload["adaptive"] = adaptive
         return SimulationConfig(**payload)

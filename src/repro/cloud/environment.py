@@ -83,6 +83,14 @@ class QCloudSimEnv(Environment):
         streaming bulk form that never materialises per-job objects.
         Requires an eligible configuration (raises ``ValueError`` otherwise)
         and implies ``fast_path``.  Mutually exclusive with ``jobs``.
+    adaptive:
+        Adaptive QoS policy: a registered preset name (``"static"``,
+        ``"reactive"``, ``"predictive"``) or an
+        :class:`~repro.adaptive.AdaptivePolicySpec` instance (overrides
+        ``config.adaptive``).  A non-static policy attaches the
+        closed-loop control plane (:class:`~repro.adaptive.AdaptiveEngine`)
+        to the broker; ``None`` and the ``static`` preset are byte-identical
+        to the open-loop engine.
     """
 
     def __init__(
@@ -96,6 +104,7 @@ class QCloudSimEnv(Environment):
         records: Optional[JobRecordsManager] = None,
         fast_path: Optional[bool] = None,
         job_table: Optional[Any] = None,
+        adaptive: Optional[Any] = None,
     ) -> None:
         super().__init__()
         self.config = config if config is not None else SimulationConfig()
@@ -119,6 +128,16 @@ class QCloudSimEnv(Environment):
             tenants = resolve_tenant_mix(tenants)
         #: The resolved tenant mix (or ``None`` for a plain single-queue run).
         self.tenant_mix = tenants
+
+        # -- adaptive QoS --------------------------------------------------------
+        if adaptive is None and self.config.adaptive is not None:
+            adaptive = self.config.adaptive
+        if adaptive is not None:
+            from repro.adaptive import resolve_adaptive_policy
+
+            adaptive = resolve_adaptive_policy(adaptive)
+        #: The resolved adaptive policy spec (or ``None`` for open-loop runs).
+        self.adaptive_policy = adaptive
 
         # -- devices -----------------------------------------------------------
         if devices is None:
@@ -226,10 +245,16 @@ class QCloudSimEnv(Environment):
             from repro.cloud.fastpath import FlatDispatcher, JobTable, flat_path_eligible
 
             eligible = flat_path_eligible(self.broker, self.tenant_mix, self.scenario)
+            if eligible and self.adaptive_policy is not None and not self.adaptive_policy.is_static:
+                # The flat dispatcher bypasses broker.submit, which is where
+                # the control plane senses arrivals — an active adaptive
+                # policy falls back to the legacy engine.
+                eligible = False
             if job_table is not None and not eligible:
                 raise ValueError(
                     "job_table requires a fast-path-eligible configuration "
-                    "(plain broker, no tenant mix, no world dynamics)"
+                    "(plain broker, no tenant mix, no world dynamics, no "
+                    "active adaptive policy)"
                 )
             if eligible:
                 table = job_table if job_table is not None else JobTable.from_jobs(jobs)
@@ -247,6 +272,15 @@ class QCloudSimEnv(Environment):
 
             self.scenario_engine = ScenarioEngine(self, self.scenario)
             self.scenario_engine.install()
+
+        #: The adaptive-QoS runtime (``None`` when no adaptive policy is set;
+        #: a static policy builds the engine but installs nothing).
+        self.adaptive_engine = None
+        if self.adaptive_policy is not None:
+            from repro.adaptive import AdaptiveEngine
+
+            self.adaptive_engine = AdaptiveEngine(self, self.adaptive_policy)
+            self.adaptive_engine.install()
 
         self.job_generator.start()
 
@@ -267,7 +301,10 @@ class QCloudSimEnv(Environment):
         all-jobs-finished event instead of queue exhaustion; plain runs keep
         the historical drain-the-queue behaviour (byte-identical results).
         """
-        if self.scenario_engine is not None and self.scenario_engine.perpetual:
+        perpetual = (
+            self.scenario_engine is not None and self.scenario_engine.perpetual
+        ) or (self.adaptive_engine is not None and self.adaptive_engine.perpetual)
+        if perpetual:
             self.run(until=self.process(self._jobs_complete_watcher()))
         else:
             self.run()
@@ -307,6 +344,19 @@ class QCloudSimEnv(Environment):
                 "(e.g. 'single' or 'free-tier-vs-premium') or pass tenants=..."
             )
         return self.broker.tenant_reports()
+
+    def adaptive_report(self) -> dict:
+        """Control-plane snapshot (adaptive runs only).
+
+        Raises ``RuntimeError`` when no adaptive policy is configured.
+        """
+        if self.adaptive_engine is None:
+            raise RuntimeError(
+                "adaptive_report() needs an adaptive run; set "
+                "SimulationConfig.adaptive (e.g. 'reactive' or 'predictive') "
+                "or pass adaptive=..."
+            )
+        return self.adaptive_engine.report()
 
     def device_utilization_report(self) -> dict:
         """Per-device execution statistics (sub-jobs completed, qubit-seconds)."""

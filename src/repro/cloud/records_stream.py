@@ -188,6 +188,13 @@ class StreamingRecordsManager(JobRecordsManager):
             return None
         return self._fidelity_sum / self.completed
 
+    def tenant_completed(self, tenant: str) -> int:
+        """Completed-job count of one tenant (from its wait sketch)."""
+        sketches = self._tenant_wait.get(tenant)
+        if not sketches:
+            return 0
+        return next(iter(sketches.values())).count
+
     def latency_percentiles(self, tenant: Optional[str] = None) -> Dict[str, Optional[float]]:
         """P² estimates of wait/turnaround p50/p95/p99 (optionally one tenant)."""
         wait = self._wait if tenant is None else self._tenant_wait.get(tenant, {})

@@ -35,6 +35,9 @@ _KEEP_TENANTS = object()
 #: Sentinel: no regions axis requested — cells keep the base config's regions.
 _KEEP_REGIONS = object()
 
+#: Sentinel: no adaptive axis requested — cells keep the base config's adaptive.
+_KEEP_ADAPTIVE = object()
+
 
 def derive_seed(base_seed: Optional[int], *components: Any) -> int:
     """Derive a deterministic 63-bit seed from a base seed and components.
@@ -153,6 +156,23 @@ def _regions_fingerprint(name: str) -> Optional[str]:
     return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
 
 
+def _adaptive_fingerprint(name: str) -> Optional[str]:
+    """Content hash of what an adaptive-policy reference currently resolves to.
+
+    Same honesty contract as :func:`_scenario_fingerprint`: a policy
+    re-registered with different gains must not return stale cache hits,
+    and an unresolvable reference marks the cell uncacheable.
+    """
+    try:
+        from repro.adaptive import get_adaptive_policy
+    except ImportError:  # pragma: no cover - adaptive always ships
+        return None
+    try:
+        return hashlib.sha256(repr(get_adaptive_policy(name)).encode("utf-8")).hexdigest()
+    except KeyError:
+        return None
+
+
 @dataclass(frozen=True)
 class ExperimentCell:
     """One grid cell: a single simulation to run and summarise.
@@ -199,6 +219,11 @@ class ExperimentCell:
             regions_content = _regions_fingerprint(self.config.regions)
             if regions_content is None:
                 return None
+        adaptive_content = None
+        if getattr(self.config, "adaptive", None) is not None:
+            adaptive_content = _adaptive_fingerprint(self.config.adaptive)
+            if adaptive_content is None:
+                return None
         payload: Dict[str, Any] = {
             "strategy": self.strategy,
             "seed": self.seed,
@@ -206,6 +231,7 @@ class ExperimentCell:
             "scenario_content": scenario_content,
             "tenants_content": tenants_content,
             "regions_content": regions_content,
+            "adaptive_content": adaptive_content,
             "policy_spec": self.policy_spec.fingerprint() if self.policy_spec else None,
             "jobs": _jobs_fingerprint(self.jobs) if self.jobs is not None else None,
         }
@@ -257,6 +283,11 @@ class ExperimentSpec:
         crossed with every other axis (outermost).  ``None`` in the tuple
         means "plain single-broker cloud"; omitting the axis keeps the base
         config's own regions.
+    adaptive:
+        Grid axis of adaptive-QoS policy names (see :mod:`repro.adaptive`);
+        crossed with every other axis (inside ``regions``).  ``None`` in the
+        tuple means "open-loop engine"; omitting the axis keeps the base
+        config's own adaptive policy.
     """
 
     base_config: SimulationConfig
@@ -273,6 +304,7 @@ class ExperimentSpec:
     scenarios: Optional[Tuple[Optional[str], ...]] = None
     tenant_mixes: Optional[Tuple[Optional[str], ...]] = None
     regions: Optional[Tuple[Optional[str], ...]] = None
+    adaptive: Optional[Tuple[Optional[str], ...]] = None
 
     def __post_init__(self) -> None:
         if not self.strategies:
@@ -289,6 +321,8 @@ class ExperimentSpec:
             raise ValueError("tenant_mixes must be non-empty when given")
         if self.regions is not None and not self.regions:
             raise ValueError("regions must be non-empty when given")
+        if self.adaptive is not None and not self.adaptive:
+            raise ValueError("adaptive must be non-empty when given")
 
     def replicate_seeds(self) -> List[int]:
         """The workload seed of every replicate (deterministic)."""
@@ -302,9 +336,9 @@ class ExperimentSpec:
         ]
 
     def cells(self) -> List[ExperimentCell]:
-        """Expand the grid into flat cells (regions-major, then tenant mix,
-        then scenario, then override, then replicate, then strategy —
-        Table 2 order inside each replicate)."""
+        """Expand the grid into flat cells (regions-major, then adaptive,
+        then tenant mix, then scenario, then override, then replicate, then
+        strategy — Table 2 order inside each replicate)."""
         cells: List[ExperimentCell] = []
         index = 0
         scenario_axis: Tuple[Any, ...] = (
@@ -316,41 +350,48 @@ class ExperimentSpec:
         regions_axis: Tuple[Any, ...] = (
             self.regions if self.regions is not None else (_KEEP_REGIONS,)
         )
+        adaptive_axis: Tuple[Any, ...] = (
+            self.adaptive if self.adaptive is not None else (_KEEP_ADAPTIVE,)
+        )
         for regions in regions_axis:
-            for tenants in tenants_axis:
-                for scenario in scenario_axis:
-                    for override in self.overrides:
-                        for replicate, seed in enumerate(self.replicate_seeds()):
-                            for strategy in self.strategies:
-                                payload = dict(self.base_config.as_dict())
-                                payload.update(override)
-                                payload["policy"] = strategy
-                                payload["seed"] = seed
-                                if scenario is not _KEEP_SCENARIO:
-                                    payload["scenario"] = scenario
-                                if tenants is not _KEEP_TENANTS:
-                                    payload["tenants"] = tenants
-                                if regions is not _KEEP_REGIONS:
-                                    payload["regions"] = regions
-                                cells.append(
-                                    ExperimentCell(
-                                        index=index,
-                                        strategy=strategy,
-                                        seed=seed,
-                                        config=SimulationConfig(**payload),
-                                        policy_spec=self.policy_specs.get(strategy),
-                                        policy=self.policies.get(strategy),
-                                        jobs=self.jobs,
-                                        replicate=replicate,
+            for adaptive in adaptive_axis:
+                for tenants in tenants_axis:
+                    for scenario in scenario_axis:
+                        for override in self.overrides:
+                            for replicate, seed in enumerate(self.replicate_seeds()):
+                                for strategy in self.strategies:
+                                    payload = dict(self.base_config.as_dict())
+                                    payload.update(override)
+                                    payload["policy"] = strategy
+                                    payload["seed"] = seed
+                                    if scenario is not _KEEP_SCENARIO:
+                                        payload["scenario"] = scenario
+                                    if tenants is not _KEEP_TENANTS:
+                                        payload["tenants"] = tenants
+                                    if regions is not _KEEP_REGIONS:
+                                        payload["regions"] = regions
+                                    if adaptive is not _KEEP_ADAPTIVE:
+                                        payload["adaptive"] = adaptive
+                                    cells.append(
+                                        ExperimentCell(
+                                            index=index,
+                                            strategy=strategy,
+                                            seed=seed,
+                                            config=SimulationConfig(**payload),
+                                            policy_spec=self.policy_specs.get(strategy),
+                                            policy=self.policies.get(strategy),
+                                            jobs=self.jobs,
+                                            replicate=replicate,
+                                        )
                                     )
-                                )
-                                index += 1
+                                    index += 1
         return cells
 
     def __len__(self) -> int:
         scenario_count = len(self.scenarios) if self.scenarios is not None else 1
         tenants_count = len(self.tenant_mixes) if self.tenant_mixes is not None else 1
         regions_count = len(self.regions) if self.regions is not None else 1
+        adaptive_count = len(self.adaptive) if self.adaptive is not None else 1
         return (
             len(self.strategies)
             * len(self.replicate_seeds())
@@ -358,4 +399,5 @@ class ExperimentSpec:
             * scenario_count
             * tenants_count
             * regions_count
+            * adaptive_count
         )

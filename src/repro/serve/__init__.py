@@ -25,7 +25,12 @@ is bit-reproducible given its seed, and the ``single`` preset is
 byte-identical to the plain pre-serve broker.
 """
 
-from repro.serve.accounting import TenantSLOReport, compute_tenant_reports, slo_satisfied
+from repro.serve.accounting import (
+    TenantSLOReport,
+    compute_tenant_reports,
+    compute_tenant_reports_streaming,
+    slo_satisfied,
+)
 from repro.serve.admission import AdmissionController, AdmissionDecision
 from repro.serve.broker import ServeBroker
 from repro.serve.presets import (
@@ -49,6 +54,7 @@ __all__ = [
     "apportion_jobs",
     "available_tenant_mixes",
     "compute_tenant_reports",
+    "compute_tenant_reports_streaming",
     "get_tenant_mix",
     "register_tenant_mix",
     "resolve_tenant_mix",

@@ -35,7 +35,12 @@ import numpy as np
 from repro.cloud.records import JobEvent, JobRecord
 from repro.serve.tenant import SLOSpec, TenantMix, TenantSpec
 
-__all__ = ["TenantSLOReport", "slo_satisfied", "compute_tenant_reports"]
+__all__ = [
+    "TenantSLOReport",
+    "slo_satisfied",
+    "compute_tenant_reports",
+    "compute_tenant_reports_streaming",
+]
 
 
 @dataclass(frozen=True)
@@ -233,3 +238,58 @@ def compute_tenant_reports(
         )
         for tenant in mix.tenants
     ]
+
+
+def compute_tenant_reports_streaming(
+    mix: TenantMix,
+    manager,
+    tenant_of: Mapping[int, str],
+    rejected: Mapping[str, int],
+    failed: Mapping[str, int],
+    preemptions: Mapping[str, int],
+) -> List[TenantSLOReport]:
+    """Per-tenant reports from a :class:`StreamingRecordsManager`'s sketches.
+
+    The closing piece of million-job serving runs: instead of materialising
+    per-job latency lists, every percentile in the report is read straight
+    from the manager's per-tenant P² sketches (O(1) memory in job count,
+    ``method="p2"`` estimates).  Counts the manager cannot know come from
+    the caller (the serve broker supplies admission rejections, terminal
+    failures and preemption totals per tenant).
+
+    Limitation, by construction: per-job SLO evaluation needs the exact
+    records the stream discarded, so ``violated`` is 0 and ``attainment``
+    is ``None`` in streaming reports — tail latencies and counts are the
+    streaming observables.  Use the exact manager when attainment is the
+    metric under study.
+    """
+    reports: List[TenantSLOReport] = []
+    submitted_by_tenant: Dict[str, int] = {t.name: 0 for t in mix.tenants}
+    for name in tenant_of.values():
+        if name in submitted_by_tenant:
+            submitted_by_tenant[name] += 1
+    for tenant in mix.tenants:
+        name = tenant.name
+        percentiles = manager.latency_percentiles(name)
+        reports.append(
+            TenantSLOReport(
+                tenant=name,
+                priority_class=tenant.priority_class,
+                weight=tenant.weight,
+                submitted=submitted_by_tenant[name],
+                completed=manager.tenant_completed(name),
+                rejected=rejected.get(name, 0),
+                failed=failed.get(name, 0),
+                preemptions=preemptions.get(name, 0),
+                violated=0,
+                attainment=None,
+                queue_p50=percentiles["wait_p50"],
+                queue_p95=percentiles["wait_p95"],
+                queue_p99=percentiles["wait_p99"],
+                completion_p50=percentiles["turnaround_p50"],
+                completion_p95=percentiles["turnaround_p95"],
+                completion_p99=percentiles["turnaround_p99"],
+                mean_fidelity=None,
+            )
+        )
+    return reports

@@ -128,5 +128,31 @@ class AdmissionController:
         bucket = self._buckets.get(tenant_name)
         return None if bucket is None else bucket.tokens
 
+    def rate(self, tenant_name: str) -> Optional[float]:
+        """Current refill rate of the tenant's bucket (``None`` if unlimited)."""
+        bucket = self._buckets.get(tenant_name)
+        return None if bucket is None else bucket.rate
+
+    # -- adaptation ------------------------------------------------------------
+    def set_rate(self, tenant_name: str, rate: float, now: float) -> None:
+        """Change a tenant's token refill rate at simulated time *now*.
+
+        Accrual earned at the old rate is settled first (the bucket refills
+        up to *now* before the rate switches), so rate changes compose
+        deterministically with admission decisions regardless of tick
+        phase.  Tenants without a bucket (unlimited admission) cannot be
+        rate-adapted; asking to is an error.
+        """
+        bucket = self._buckets.get(tenant_name)
+        if bucket is None:
+            raise KeyError(f"tenant {tenant_name!r} has no admission bucket")
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        elapsed = now - bucket.last_refill
+        if elapsed > 0:
+            bucket.tokens = min(bucket.burst, bucket.tokens + elapsed * bucket.rate)
+            bucket.last_refill = now
+        bucket.rate = float(rate)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<AdmissionController mix={self.mix.name!r} queued={dict(self._queued)}>"

@@ -187,6 +187,9 @@ class ServeBroker(Broker):
         self.rejected_jobs: List[QJob] = []
         #: Total preemption events issued.
         self.preempted_total = 0
+        #: Preemption events per victim tenant (streaming reports read this:
+        #: a streaming records manager keeps no event log to count from).
+        self.preempted_by_tenant: Dict[str, int] = {t.name: 0 for t in self.mix.tenants}
         #: Tenant attribution of every submitted job (admitted or rejected).
         self.tenant_of: Dict[int, str] = {}
 
@@ -400,6 +403,7 @@ class ServeBroker(Broker):
 
         for info in chosen:
             self.preempted_total += 1
+            self.preempted_by_tenant[info.job.tenant] += 1
             self.records.log_preemption(
                 info.job.job_id,
                 self.env.now,
@@ -452,9 +456,36 @@ class ServeBroker(Broker):
         ``percentile_method="p2"`` swaps the exact ``np.percentile`` tail
         latencies for constant-memory streaming P² estimates (million-job
         runs; see :mod:`repro.metrics.quantiles`).
+
+        With a :class:`~repro.cloud.records_stream.StreamingRecordsManager`
+        installed there are no materialised records to aggregate; reports are
+        instead read straight off the manager's per-tenant P² sketches plus
+        the broker's own counters (rejections, failures, preemptions).
         """
         from repro.serve.accounting import compute_tenant_reports
 
+        records = self.records
+        if not getattr(records, "KEEPS_EVENT_DETAIL", True) and hasattr(
+            records, "latency_percentiles"
+        ):
+            from repro.serve.accounting import compute_tenant_reports_streaming
+
+            failed_by_tenant: Dict[str, int] = {t.name: 0 for t in self.mix.tenants}
+            for job in self.failed_jobs:
+                name = job.tenant or self.tenant_of.get(job.job_id)
+                if name in failed_by_tenant:
+                    failed_by_tenant[name] += 1
+            return compute_tenant_reports_streaming(
+                self.mix,
+                records,
+                self.tenant_of,
+                rejected={
+                    t.name: self.admission_controller.rejections(t.name)
+                    for t in self.mix.tenants
+                },
+                failed=failed_by_tenant,
+                preemptions=self.preempted_by_tenant,
+            )
         return compute_tenant_reports(
             self.mix,
             self.records.completed_records,

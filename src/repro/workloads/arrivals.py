@@ -31,7 +31,47 @@ __all__ = [
     "bulk_diurnal_arrival_times",
     "heavy_tail_qubit_sizes",
     "generate_traffic_jobs",
+    "fit_window",
 ]
+
+
+def fit_window(
+    times,
+    window_start: Optional[float] = None,
+    window_end: Optional[float] = None,
+) -> Optional[float]:
+    """Maximum-likelihood Poisson rate over an observation window, or ``None``.
+
+    Rolling-rate estimators (the adaptive control plane, trace analytics)
+    repeatedly fit the generators above on short sliding windows, where an
+    idle window — zero or one arrival, or a degenerate zero-length span —
+    would make the naive ``(n - 1) / span`` estimator divide by zero.  This
+    helper centralises the guards: it returns ``None`` whenever the window
+    holds fewer than two arrivals or spans zero time, and the MLE rate
+    otherwise.
+
+    When *window_start*/*window_end* are given, the rate is ``n / width``
+    over the explicit window (the censored-window MLE, counting arrivals
+    inside it); otherwise it is ``(n - 1) / span`` over the arrivals' own
+    span (the interval MLE).
+    """
+    cleaned = sorted(float(t) for t in times)
+    if window_start is not None or window_end is not None:
+        lo = window_start if window_start is not None else (cleaned[0] if cleaned else 0.0)
+        hi = window_end if window_end is not None else (cleaned[-1] if cleaned else 0.0)
+        width = hi - lo
+        if width <= 0.0:
+            return None
+        count = sum(1 for t in cleaned if lo <= t <= hi)
+        if count < 2:
+            return None
+        return count / width
+    if len(cleaned) < 2:
+        return None
+    span = cleaned[-1] - cleaned[0]
+    if span <= 0.0:
+        return None
+    return (len(cleaned) - 1) / span
 
 
 def mmpp_arrival_times(

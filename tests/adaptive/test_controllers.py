@@ -1,0 +1,189 @@
+"""The four controllers: AIMD admission, SLO planner, pooler, checkpointer."""
+
+import pytest
+
+from repro.adaptive import AdaptivePolicySpec
+from repro.adaptive.controllers import ElasticPooler
+from repro.cloud.config import SimulationConfig
+from repro.cloud.environment import QCloudSimEnv
+
+
+def _run(adaptive, **kwargs):
+    config = SimulationConfig(
+        num_jobs=kwargs.pop("num_jobs", 60),
+        seed=kwargs.pop("seed", 7),
+        policy=kwargs.pop("policy", "speed"),
+        **kwargs,
+    )
+    env = QCloudSimEnv(config, adaptive=adaptive)
+    records = env.run_until_complete()
+    return env, records
+
+
+def _controller(env, kind):
+    for controller in env.adaptive_engine.controllers:
+        if controller.kind == kind:
+            return controller
+    raise AssertionError(f"no controller of kind {kind}")
+
+
+class TestAdaptiveAdmission:
+    SPEC = AdaptivePolicySpec(name="aimd-only", adaptive_admission=True)
+
+    def test_rates_stay_within_aimd_bounds(self):
+        env, _ = _run(self.SPEC, tenants="noisy-neighbor", scenario="black-friday",
+                      num_jobs=80)
+        ctrl = _controller(env, "adaptive-admission")
+        assert ctrl.trajectory, "control loop never actuated"
+        spec = self.SPEC
+        for _, name, rate in ctrl.trajectory:
+            base = ctrl._base[name]
+            assert spec.aimd_floor * base - 1e-9 <= rate <= spec.aimd_ceiling * base + 1e-9
+
+    def test_only_bucketed_tenants_are_controlled(self):
+        env, _ = _run(self.SPEC, tenants="noisy-neighbor", num_jobs=40)
+        ctrl = _controller(env, "adaptive-admission")
+        # noisy-neighbor rate-limits only the "neighbor" tenant.
+        assert set(ctrl._base) == {"neighbor"}
+        assert all(name == "neighbor" for _, name, _ in ctrl.trajectory)
+
+    def test_healthy_run_ramps_rates_up(self):
+        # Without pressure AIMD performs additive increase up to the ceiling.
+        env, _ = _run(self.SPEC, tenants="noisy-neighbor", num_jobs=40)
+        ctrl = _controller(env, "adaptive-admission")
+        final = env.broker.admission_controller.rate("neighbor")
+        assert final is not None
+        assert final > ctrl._base["neighbor"]
+
+    def test_plain_broker_is_a_noop(self):
+        env, records = _run(self.SPEC, num_jobs=20)
+        ctrl = _controller(env, "adaptive-admission")
+        assert ctrl._base == {}
+        assert ctrl.trajectory == []
+        assert len(records) == 20
+
+    def test_report_is_json_safe(self):
+        import json
+
+        env, _ = _run(self.SPEC, tenants="noisy-neighbor", num_jobs=30)
+        json.dumps(env.adaptive_report())
+
+
+class TestSLOAwarePlanner:
+    SPEC = AdaptivePolicySpec(name="planner-only", slo_planner=True)
+
+    def test_wraps_the_configured_policy(self):
+        env, _ = _run(self.SPEC, tenants="noisy-neighbor", num_jobs=20)
+        planner = _controller(env, "slo-planner")
+        assert env.broker.policy is planner
+        assert planner.name == f"adaptive({planner.inner.name})"
+
+    def test_biases_without_losing_jobs(self):
+        env, records = _run(self.SPEC, tenants="noisy-neighbor",
+                            scenario="black-friday", num_jobs=80)
+        planner = _controller(env, "slo-planner")
+        assert planner.latency_biased + planner.fidelity_biased > 0
+        # Liveness: biasing may reroute jobs but never strands them.
+        assert len(records) + len(env.broker.failed_jobs) + \
+            len(env.broker.rejected_jobs) == 80
+
+    def test_untenanted_jobs_fall_through_to_inner(self):
+        env, records = _run(self.SPEC, num_jobs=20)
+        planner = _controller(env, "slo-planner")
+        assert planner.latency_biased == planner.fidelity_biased == 0
+        assert len(records) == 20
+
+
+class TestElasticPooler:
+    SPEC = AdaptivePolicySpec(
+        name="pooler-only", elastic_pooling=True, pool_hysteresis=0.0,
+        tick_interval=30.0,
+    )
+
+    def test_single_class_mix_installs_nothing(self):
+        env, _ = _run(self.SPEC, tenants="noisy-neighbor", num_jobs=20)
+        pooler = _controller(env, "elastic-pooler")
+        assert pooler.class_pools == {}
+        assert pooler.repartitions == 0
+
+    def test_multiclass_pools_partition_the_fleet(self):
+        env, _ = _run(self.SPEC, tenants="batch-vs-interactive",
+                      scenario="black-friday", num_jobs=80)
+        pooler = _controller(env, "elastic-pooler")
+        assert pooler.repartitions > 0
+        fleet = {d.name for d in env.cloud.devices}
+        seen = []
+        for pool in pooler.class_pools.values():
+            assert pool, "every class keeps at least one device"
+            seen.extend(pool)
+        assert len(seen) == len(set(seen))  # pools are disjoint
+        assert set(seen) == fleet  # ... and cover the whole fleet
+
+    def test_best_tier_goes_to_most_important_class(self):
+        env, _ = _run(self.SPEC, tenants="batch-vs-interactive",
+                      scenario="black-friday", num_jobs=80)
+        pooler = _controller(env, "elastic-pooler")
+        devices = {d.name: d for d in env.cloud.devices}
+        classes = sorted(pooler.class_pools)
+        top = pooler.class_pools[classes[0]]
+        bottom = pooler.class_pools[classes[-1]]
+        best_top = min(devices[n].error_score() for n in top)
+        worst_bottom = max(devices[n].error_score() for n in bottom)
+        assert best_top <= worst_bottom
+
+    def test_apportionment_respects_floors_and_total(self):
+        pooler = object.__new__(ElasticPooler)
+        pooler._classes = (0, 1, 3)
+        sizes = pooler._apportion({0: 50, 1: 1, 3: 1}, 5)
+        assert sum(sizes.values()) == 5
+        assert all(size >= 1 for size in sizes.values())
+        assert sizes[0] == 3  # demand-dominant class takes the surplus
+
+    def test_apportionment_handles_tiny_fleets(self):
+        pooler = object.__new__(ElasticPooler)
+        pooler._classes = (0, 1)
+        sizes = pooler._apportion({0: 1000, 1: 1}, 2)
+        assert sizes == {0: 1, 1: 1}
+
+    def test_hysteresis_suppresses_flapping(self):
+        calm = AdaptivePolicySpec(
+            name="pooler-hysteretic", elastic_pooling=True, pool_hysteresis=1.0,
+            tick_interval=30.0,
+        )
+        env, _ = _run(calm, tenants="batch-vs-interactive",
+                      scenario="black-friday", num_jobs=80)
+        pooler = _controller(env, "elastic-pooler")
+        # A fleet-sized threshold allows the initial partition and then
+        # freezes it for the rest of the run.
+        assert pooler.repartitions <= 1
+
+
+class TestProactiveCheckpointer:
+    SPEC = AdaptivePolicySpec(
+        name="ckpt-only", proactive_checkpointing=True,
+        outage_risk_threshold=0.0001, tick_interval=30.0,
+    )
+
+    def test_arms_under_flaky_fleet(self):
+        env, _ = _run(self.SPEC, scenario="flaky-fleet", num_jobs=60)
+        ctrl = _controller(env, "proactive-checkpointer")
+        assert ctrl.decisions > 0
+        assert ctrl.checkpointed > 0
+        assert ctrl.flips >= 1
+
+    def test_stays_dormant_when_risk_is_remote(self):
+        calm = AdaptivePolicySpec(
+            name="ckpt-calm", proactive_checkpointing=True,
+            outage_risk_threshold=1e9, rush_factor=1e9,
+        )
+        env, _ = _run(calm, num_jobs=30)
+        ctrl = _controller(env, "proactive-checkpointer")
+        assert ctrl.checkpointed == 0
+        assert ctrl.flips == 0
+
+    def test_defers_to_globally_enabled_checkpointing(self):
+        env, _ = _run(self.SPEC, num_jobs=20, checkpointing=True)
+        ctrl = _controller(env, "proactive-checkpointer")
+        assert ctrl.decisions > 0
+        # Global checkpointing wins; the controller never claims the credit.
+        assert ctrl.checkpointed == 0

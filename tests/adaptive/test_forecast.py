@@ -1,0 +1,116 @@
+"""Online arrival-rate estimation: windowed MLE, diurnal profile, rush flags."""
+
+import pytest
+
+from repro.adaptive.forecast import OnlineArrivalForecaster
+
+
+def _feed_uniform(forecaster, start, stop, gap):
+    t = start
+    while t < stop:
+        forecaster.observe(t)
+        t += gap
+
+
+class TestValidation:
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            OnlineArrivalForecaster(window=0.0)
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            OnlineArrivalForecaster(period=-5.0)
+
+    def test_rejects_bad_horizon(self):
+        f = OnlineArrivalForecaster()
+        f.observe(1.0)
+        with pytest.raises(ValueError):
+            f.predicted_rate(1.0, 0.0)
+
+
+class TestWindowedRate:
+    def test_empty_forecaster_reports_zero(self):
+        f = OnlineArrivalForecaster(window=100.0)
+        assert f.rate(500.0) == 0.0
+        assert f.baseline_rate() == 0.0
+        assert f.predicted_rate(500.0, 60.0) == 0.0
+
+    def test_uniform_arrivals_recover_rate(self):
+        f = OnlineArrivalForecaster(window=100.0)
+        _feed_uniform(f, 0.0, 400.0, 2.0)  # 0.5 jobs/s
+        assert f.rate(400.0) == pytest.approx(0.5, rel=0.1)
+        assert f.baseline_rate() == pytest.approx(0.5, rel=0.05)
+
+    def test_rate_tracks_recent_window_only(self):
+        f = OnlineArrivalForecaster(window=100.0)
+        _feed_uniform(f, 0.0, 200.0, 10.0)   # slow phase: 0.1 jobs/s
+        _feed_uniform(f, 200.0, 300.0, 1.0)  # burst phase: 1.0 jobs/s
+        assert f.rate(300.0) == pytest.approx(1.0, rel=0.15)
+        assert f.rate(150.0) == pytest.approx(0.1, rel=0.3)
+
+    def test_idle_window_falls_back_to_count_rate(self):
+        f = OnlineArrivalForecaster(window=100.0)
+        f.observe(10.0)
+        # One arrival in the window: the guarded MLE declines, the count
+        # fallback reports 1/width instead of None/ZeroDivision.
+        assert f.rate(50.0) == pytest.approx(1.0 / 100.0)
+
+    def test_trend_extrapolation_rises_with_accelerating_arrivals(self):
+        f = OnlineArrivalForecaster(window=100.0)
+        _feed_uniform(f, 0.0, 100.0, 10.0)   # 0.1 jobs/s
+        _feed_uniform(f, 100.0, 200.0, 2.0)  # 0.5 jobs/s
+        predicted = f.predicted_rate(200.0, 100.0)
+        assert predicted > f.rate(200.0)  # rising trend extrapolates upward
+
+    def test_trend_is_clamped_at_zero(self):
+        f = OnlineArrivalForecaster(window=10.0)
+        _feed_uniform(f, 0.0, 10.0, 0.5)  # burst then silence
+        assert f.predicted_rate(1000.0, 100.0) >= 0.0
+
+
+class TestDiurnalProfile:
+    def _diurnal(self, period=1000.0, cycles=3):
+        f = OnlineArrivalForecaster(window=100.0, period=period, bins=10)
+        for cycle in range(cycles):
+            base = cycle * period
+            # Crest: dense arrivals in the middle of the period.
+            _feed_uniform(f, base + 400.0, base + 600.0, 2.0)
+            # Trough: sparse arrivals elsewhere.
+            _feed_uniform(f, base + 0.0, base + 400.0, 100.0)
+            _feed_uniform(f, base + 600.0, base + 1000.0, 100.0)
+        return f
+
+    def test_profile_predicts_crest_above_trough(self):
+        f = self._diurnal()
+        crest = f.predicted_rate(3000.0 + 450.0, 100.0)
+        trough = f.predicted_rate(3000.0 + 100.0, 100.0)
+        assert crest > 3 * trough
+
+    def test_is_rush_flags_crest_not_trough(self):
+        f = self._diurnal()
+        assert f.is_rush(3000.0 + 450.0, 100.0, factor=1.5)
+        assert not f.is_rush(3000.0 + 100.0, 100.0, factor=1.5)
+
+    def test_no_rush_without_observations(self):
+        f = OnlineArrivalForecaster()
+        assert not f.is_rush(0.0, 100.0, factor=1.5)
+
+    def test_fitted_snapshot_is_json_safe(self):
+        import json
+
+        f = self._diurnal()
+        payload = f.fitted()
+        json.dumps(payload)
+        assert payload["observations"] == f.observations
+        assert payload["period"] == 1000.0
+
+
+class TestDeterminism:
+    def test_same_observations_same_estimates(self):
+        a = OnlineArrivalForecaster(window=50.0, period=200.0)
+        b = OnlineArrivalForecaster(window=50.0, period=200.0)
+        for f in (a, b):
+            _feed_uniform(f, 0.0, 600.0, 3.0)
+        assert a.rate(600.0) == b.rate(600.0)
+        assert a.predicted_rate(700.0, 60.0) == b.predicted_rate(700.0, 60.0)
+        assert a.fitted() == b.fitted()

@@ -1,0 +1,105 @@
+"""The SignalBus: counters and rolling metrics maintained from broker hooks."""
+
+from repro.adaptive import AdaptivePolicySpec
+from repro.adaptive.signals import UNTENANTED
+from repro.cloud.config import SimulationConfig
+from repro.cloud.environment import QCloudSimEnv
+
+# A spec that installs the signal bus (via any enabled controller) without
+# touching admission rates or checkpointing, so runs stay comparable.
+_SENSE_ONLY = AdaptivePolicySpec(name="sense-only", slo_planner=True)
+
+
+def _run(tenants=None, **kwargs):
+    config = SimulationConfig(
+        num_jobs=kwargs.pop("num_jobs", 30),
+        seed=kwargs.pop("seed", 11),
+        policy="speed",
+        tenants=tenants,
+        adaptive=None,
+        **kwargs,
+    )
+    env = QCloudSimEnv(config, adaptive=_SENSE_ONLY)
+    records = env.run_until_complete()
+    return env, records
+
+
+class TestCountersMatchGroundTruth:
+    def test_serve_run_counters(self):
+        env, records = _run(tenants="noisy-neighbor", num_jobs=60)
+        signals = env.adaptive_engine.signals
+        broker = env.broker
+
+        submitted = sum(s.submitted for s in signals.tenants.values())
+        shed = sum(s.shed for s in signals.tenants.values())
+        completed = sum(s.completed for s in signals.tenants.values())
+        failed = sum(s.failed for s in signals.tenants.values())
+
+        assert submitted == 60
+        assert shed == len(broker.rejected_jobs)
+        assert completed == len(records)
+        assert failed == len(broker.failed_jobs)
+        # Per-tenant attribution matches the broker's own map.
+        for name, sig in signals.tenants.items():
+            expected = sum(1 for t in broker.tenant_of.values() if t == name)
+            assert sig.submitted == expected
+
+    def test_plain_run_uses_untenanted_bucket(self):
+        env, records = _run(tenants=None, num_jobs=20)
+        signals = env.adaptive_engine.signals
+        assert set(signals.tenants) == {UNTENANTED}
+        sig = signals.tenants[UNTENANTED]
+        assert sig.submitted == 20
+        assert sig.completed == len(records)
+        assert sig.shed == 0
+
+    def test_rates_derive_from_counters(self):
+        env, _ = _run(tenants="noisy-neighbor", num_jobs=60)
+        for sig in env.adaptive_engine.signals.tenants.values():
+            assert sig.admit_rate + sig.shed_rate == 1.0 if sig.submitted else True
+
+
+class TestRollingMetrics:
+    def test_p95_sketch_sees_every_completion(self):
+        env, records = _run(num_jobs=30)
+        signals = env.adaptive_engine.signals
+        assert signals.global_wait_p95.count == len(records)
+        p95 = signals.recent_p95()
+        waits = sorted(r.wait_time for r in records)
+        assert p95 is not None
+        assert waits[0] <= p95 <= waits[-1]
+
+    def test_mean_service_time_matches_records(self):
+        import pytest
+
+        env, records = _run(num_jobs=20)
+        mean = env.adaptive_engine.signals.mean_service_time()
+        expected = sum(r.effective_service_time for r in records) / len(records)
+        assert mean == pytest.approx(expected)
+
+    def test_queue_depth_drains_to_zero(self):
+        env, _ = _run(tenants="noisy-neighbor", num_jobs=40)
+        signals = env.adaptive_engine.signals
+        assert signals.queue_depth() == 0
+        for name in signals.tenants:
+            assert signals.queue_depth(name) == 0
+
+    def test_unknown_tenant_reads_as_empty(self):
+        env, _ = _run(num_jobs=5)
+        signals = env.adaptive_engine.signals
+        assert signals.recent_p95("ghost") is None
+
+    def test_device_utilization_non_negative(self):
+        # Utilisation can exceed 1.0: devices multi-program jobs across
+        # their qubit capacity, so busy_time accumulates per job.
+        env, _ = _run(num_jobs=20)
+        utils = env.adaptive_engine.signals.device_utilization()
+        assert utils, "fleet reported no devices"
+        for util in utils.values():
+            assert util >= 0.0
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        env, _ = _run(tenants="noisy-neighbor", num_jobs=30)
+        json.dumps(env.adaptive_engine.signals.snapshot())

@@ -79,6 +79,15 @@ class TestExamples:
         assert "Per-tenant SLO report" in result.stdout
         assert "premium" in result.stdout
 
+    def test_adaptive_sweep(self):
+        result = run_example("adaptive_sweep.py", "16")
+        assert result.returncode == 0, result.stderr
+        for policy in ("static", "reactive", "predictive"):
+            assert policy in result.stdout
+        assert "SLO attainment" in result.stdout
+        assert "Control plane:" in result.stdout
+        assert "AIMD rate adjustments" in result.stdout
+
     def test_multiregion_sweep(self):
         result = run_example("multiregion_sweep.py", "8")
         assert result.returncode == 0, result.stderr

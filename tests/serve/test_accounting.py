@@ -107,3 +107,71 @@ class TestComputeTenantReports:
         report_a, _ = compute_tenant_reports(self.mix(), [record(0, "a")], [], {0: "a"})
         payload = json.dumps(report_a.as_dict())
         assert "attainment" in payload
+
+
+class TestStreamingReports:
+    """Reports built from a StreamingRecordsManager's P² sketches."""
+
+    def mix(self):
+        return TenantMix(
+            name="m",
+            tenants=(TenantSpec(name="a"), TenantSpec(name="b")),
+        )
+
+    def _manager(self, waits_a):
+        from repro.cloud.records_stream import StreamingRecordsManager
+
+        manager = StreamingRecordsManager()
+        for i, wait in enumerate(waits_a):
+            manager.add_record(record(i, "a", start=wait, finish=wait + 20.0))
+        return manager
+
+    def test_percentiles_come_from_sketches(self):
+        from repro.serve import compute_tenant_reports_streaming
+
+        waits = [float(w) for w in range(1, 41)]
+        manager = self._manager(waits)
+        tenant_of = {i: "a" for i in range(len(waits))}
+        tenant_of[99] = "b"  # submitted but never completed
+        report_a, report_b = compute_tenant_reports_streaming(
+            self.mix(), manager, tenant_of,
+            rejected={"b": 1}, failed={}, preemptions={"a": 2},
+        )
+        assert report_a.completed == len(waits)
+        assert report_a.submitted == len(waits)
+        assert report_a.preemptions == 2
+        expected = manager.latency_percentiles("a")
+        assert report_a.queue_p95 == expected["wait_p95"]
+        assert report_a.completion_p50 == expected["turnaround_p50"]
+        # Streaming discards the per-job data SLO evaluation needs.
+        assert report_a.violated == 0
+        assert report_a.attainment is None
+
+        assert report_b.submitted == 1
+        assert report_b.completed == 0
+        assert report_b.rejected == 1
+        assert report_b.queue_p50 is None
+
+    def test_serve_broker_routes_streaming_manager(self):
+        from repro.cloud.config import SimulationConfig
+        from repro.cloud.environment import QCloudSimEnv
+        from repro.cloud.records_stream import StreamingRecordsManager
+
+        config = SimulationConfig(num_jobs=40, seed=7, tenants="noisy-neighbor")
+        with StreamingRecordsManager() as manager:
+            env = QCloudSimEnv(config, records=manager)
+            env.run_until_complete()
+            streaming = {r.tenant: r for r in env.broker.tenant_reports()}
+        # An identical exact run agrees on every count.
+        env_exact = QCloudSimEnv(SimulationConfig(num_jobs=40, seed=7,
+                                                  tenants="noisy-neighbor"))
+        env_exact.run_until_complete()
+        for exact in env_exact.broker.tenant_reports():
+            report = streaming[exact.tenant]
+            assert report.submitted == exact.submitted
+            assert report.completed == exact.completed
+            assert report.rejected == exact.rejected
+            assert report.failed == exact.failed
+            assert report.preemptions == exact.preemptions
+            if exact.completed:
+                assert report.queue_p95 is not None

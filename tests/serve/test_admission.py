@@ -74,6 +74,45 @@ class TestQueueCap:
             controller.job_started("t")
 
 
+class TestRateActuation:
+    """``rate``/``set_rate``: the AIMD admission controller's actuator."""
+
+    def test_rate_reads_configured_refill(self):
+        controller = AdmissionController(mix_with(AdmissionSpec(rate=0.1, burst=2.0)))
+        assert controller.rate("t") == 0.1
+
+    def test_rate_is_none_without_bucket(self):
+        controller = AdmissionController(mix_with(AdmissionSpec()))
+        assert controller.rate("t") is None
+
+    def test_set_rate_changes_future_refill(self):
+        controller = AdmissionController(mix_with(AdmissionSpec(rate=0.1, burst=2.0)))
+        for _ in range(2):
+            assert controller.admit("t", 0.0).admitted
+        controller.set_rate("t", 0.2, now=0.0)
+        assert controller.rate("t") == 0.2
+        # 5 seconds at the new 0.2 tokens/s refills one token.
+        assert controller.admit("t", 5.0).admitted
+        assert not controller.admit("t", 5.0).admitted
+
+    def test_set_rate_settles_accrual_at_old_rate(self):
+        controller = AdmissionController(mix_with(AdmissionSpec(rate=0.1, burst=1.0)))
+        controller.admit("t", 0.0)
+        # 10 idle seconds accrued at 0.1 tokens/s before the change; the
+        # switch must bank that token rather than re-price history.
+        controller.set_rate("t", 0.0001, now=10.0)
+        assert controller.admit("t", 10.0).admitted
+        assert not controller.admit("t", 10.0).admitted
+
+    def test_set_rate_validates(self):
+        controller = AdmissionController(mix_with(AdmissionSpec(rate=0.1, burst=2.0)))
+        with pytest.raises(ValueError):
+            controller.set_rate("t", 0.0, now=0.0)
+        unbucketed = AdmissionController(mix_with(AdmissionSpec()))
+        with pytest.raises(KeyError):
+            unbucketed.set_rate("t", 0.5, now=0.0)
+
+
 class TestPerTenantIsolation:
     def test_buckets_are_independent(self):
         mix = TenantMix(

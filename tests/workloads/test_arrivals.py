@@ -6,6 +6,7 @@ import pytest
 from repro.dynamics import TrafficSpec
 from repro.workloads.arrivals import (
     diurnal_arrival_times,
+    fit_window,
     generate_traffic_jobs,
     heavy_tail_qubit_sizes,
     mmpp_arrival_times,
@@ -104,3 +105,36 @@ class TestGenerateTrafficJobs:
         jobs = generate_traffic_jobs(TrafficSpec(model="diurnal"), 50, seed=2,
                                      qubit_range=(140, 160))
         assert all(140 <= j.num_qubits <= 160 for j in jobs)
+
+
+class TestFitWindow:
+    """The guarded window-MLE helper: ``None`` instead of divide-by-zero."""
+
+    def test_interval_mle(self):
+        # 5 arrivals spanning 8s -> (n - 1) / span = 0.5 jobs/s.
+        assert fit_window([0.0, 2.0, 4.0, 6.0, 8.0]) == pytest.approx(0.5)
+
+    def test_interval_mle_sorts_input(self):
+        assert fit_window([8.0, 0.0, 4.0]) == fit_window([0.0, 4.0, 8.0])
+
+    def test_explicit_window_counts_inside_only(self):
+        times = [0.0, 5.0, 10.0, 15.0, 100.0]
+        # Four arrivals inside [0, 20] -> 0.2 jobs/s regardless of stragglers.
+        assert fit_window(times, window_start=0.0, window_end=20.0) == pytest.approx(0.2)
+
+    def test_none_on_empty(self):
+        assert fit_window([]) is None
+
+    def test_none_on_single_arrival(self):
+        assert fit_window([3.0]) is None
+        assert fit_window([3.0], window_start=0.0, window_end=10.0) is None
+
+    def test_none_on_zero_span(self):
+        assert fit_window([5.0, 5.0, 5.0]) is None
+
+    def test_none_on_degenerate_window(self):
+        assert fit_window([1.0, 2.0], window_start=5.0, window_end=5.0) is None
+        assert fit_window([1.0, 2.0], window_start=9.0, window_end=5.0) is None
+
+    def test_none_when_window_holds_too_few(self):
+        assert fit_window([1.0, 50.0], window_start=0.0, window_end=10.0) is None
